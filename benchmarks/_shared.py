@@ -1,0 +1,74 @@
+"""Shared campaign configuration for the benchmark harness.
+
+All per-table / per-figure benchmarks read from ONE fault-injection
+campaign, cached incrementally on disk, so regenerating every artifact costs
+one set of simulations.  Scale knobs (environment variables):
+
+* ``REPRO_SAMPLES``   — injections per (workload, component, cardinality)
+  cell; default 10 for a laptop-scale run, 2000 for the paper's setup.
+* ``REPRO_WORKLOADS`` — comma-separated subset of the 15 workloads.
+* ``REPRO_SEED``      — campaign seed (default 0).
+
+The cell cache lives in ``benchmarks/.cache/campaign_store.json`` and is
+keyed by the exact cell parameters plus a platform fingerprint, so changing
+any knob re-simulates only what changed.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignStore,
+    run_campaign,
+)
+
+CACHE_DIR = Path(__file__).resolve().parent / ".cache"
+STORE_PATH = CACHE_DIR / "campaign_store.json"
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+DEFAULT_SAMPLES = 10
+
+
+def shared_config() -> CampaignConfig:
+    samples = int(os.environ.get("REPRO_SAMPLES", DEFAULT_SAMPLES))
+    workloads_env = os.environ.get("REPRO_WORKLOADS", "")
+    workloads = tuple(
+        name.strip() for name in workloads_env.split(",") if name.strip()
+    )
+    seed = int(os.environ.get("REPRO_SEED", "0"))
+    return CampaignConfig(workloads=workloads, samples=samples, seed=seed)
+
+
+def shared_campaign(progress: bool = True) -> CampaignResult:
+    """Run (or load from cache) the shared campaign."""
+    config = shared_config()
+    store = CampaignStore(STORE_PATH)
+
+    def report(done: int, total: int, cell) -> None:
+        print(
+            f"\r[campaign {done}/{total}] {cell.workload}/{cell.component}/"
+            f"{cell.cardinality}b",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    result = run_campaign(
+        config, progress=report if progress else None, store=store
+    )
+    if progress:
+        print(file=sys.stderr)
+    return result
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Persist a regenerated table/figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,71 @@
+"""A5 — Ablation: error-protection schemes against spatial MBUs.
+
+The paper's bottom line is that protection must be designed for realistic
+multi-bit upsets.  This ablation quantifies the canonical options on the
+L1D geometry with the paper's 3x3-cluster fault model: parity, plain
+SECDED, and SECDED with 2/4-way physical interleaving, for 1/2/3-bit
+faults — including the residual AVF after protection (escapes only),
+using the shared campaign's measured L1D AVFs.
+"""
+
+from _shared import write_artifact
+
+from repro.core.protection import (
+    PARITY,
+    SECDED,
+    evaluate_scheme,
+    residual_avf,
+    secded_interleaved,
+)
+from repro.core.report import format_table
+from repro.cpu.system import System
+
+SCHEMES = (PARITY, SECDED, secded_interleaved(2), secded_interleaved(4))
+TRIALS = 1500
+
+
+def test_ablation_protection(campaign, benchmark):
+    target = System().injectable_targets()["l1d"]
+
+    def analyse():
+        rows = []
+        for cardinality in (1, 2, 3):
+            avf = campaign.weighted_avf("l1d", cardinality)
+            for scheme in SCHEMES:
+                stats = evaluate_scheme(
+                    scheme, target, cardinality, trials=TRIALS, seed=5
+                )
+                rows.append([
+                    f"{cardinality}-bit",
+                    scheme.name,
+                    f"{100 * stats.correct_fraction:6.1f}%",
+                    f"{100 * stats.detect_fraction:6.1f}%",
+                    f"{100 * stats.escape_fraction:6.1f}%",
+                    f"{100 * residual_avf(avf, stats):6.2f}%",
+                ])
+        return format_table(
+            ["Faults", "Scheme", "Corrected", "Detected (DUE)",
+             "Escaped", "Residual L1D AVF"],
+            rows,
+            "ABLATION A5: protection schemes vs spatial multi-bit upsets "
+            f"({TRIALS} masks per cell)",
+        )
+
+    text = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    text += (
+        "\n\nReading: SECDED alone only *detects* adjacent double-bit"
+        "\nupsets and can be escaped by triples, while interleaving at or"
+        "\nabove the cluster width restores full correction — the classic"
+        "\nmotivation for interleaved ECC that the paper's MBU rates imply."
+    )
+    print("\n" + text)
+    write_artifact("ablation_protection", text)
+
+    secded_3 = evaluate_scheme(SECDED, target, 3, trials=TRIALS, seed=5)
+    x4_3 = evaluate_scheme(
+        secded_interleaved(4), target, 3, trials=TRIALS, seed=5
+    )
+    assert x4_3.correct_fraction == 1.0   # k >= cluster width
+    assert secded_3.correct_fraction < 1.0
+    single = evaluate_scheme(SECDED, target, 1, trials=TRIALS, seed=5)
+    assert single.correct_fraction == 1.0

@@ -1,0 +1,40 @@
+"""F1 — Fig. 1: AVF for single/double/triple-bit faults, L1 Data Cache.
+
+Regenerates the per-workload fault-effect breakdown from the shared
+campaign and checks the figure's qualitative shape.
+"""
+
+from _shared import write_artifact
+
+from repro.core.report import render_component_figure
+
+COMPONENT = "l1d"
+
+
+def test_fig1_l1d_breakdown(campaign, benchmark):
+    text = benchmark(
+        render_component_figure, campaign, COMPONENT, "FIG. 1"
+    )
+    print("\n" + text)
+    write_artifact("fig1_l1d", text)
+
+    cards = campaign.cardinalities()
+    weighted = {
+        card: campaign.weighted_avf(COMPONENT, card) for card in cards
+    }
+    for card in cards:
+        assert 0.0 <= weighted[card] <= 1.0
+    # Multi-bit faults must not *reduce* the weighted AVF (noise margin for
+    # small default sample counts).
+    if 1 in weighted and 3 in weighted:
+        assert weighted[3] >= weighted[1] - 0.10
+
+    # Paper observation (Table IV row 1): SDC is the dominant vulnerable
+    # class for the L1 data cache.
+    from repro.core.avf import FaultClass
+    from repro.core.avf import weighted_fraction
+    cycles = campaign.golden_cycles()
+    counts = campaign.counts_by_workload(COMPONENT, 3)
+    sdc = weighted_fraction(counts, cycles, FaultClass.SDC)
+    crash = weighted_fraction(counts, cycles, FaultClass.CRASH)
+    assert sdc >= crash * 0.8  # SDC-led mix (with sampling-noise margin)

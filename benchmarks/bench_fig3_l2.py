@@ -1,0 +1,38 @@
+"""F3 — Fig. 3: AVF for single/double/triple-bit faults, L2 Cache.
+
+Regenerates the per-workload fault-effect breakdown from the shared
+campaign and checks the figure's qualitative shape.
+"""
+
+from _shared import write_artifact
+
+from repro.core.report import render_component_figure
+
+COMPONENT = "l2"
+
+
+def test_fig3_l2_breakdown(campaign, benchmark):
+    text = benchmark(
+        render_component_figure, campaign, COMPONENT, "FIG. 3"
+    )
+    print("\n" + text)
+    write_artifact("fig3_l2", text)
+
+    cards = campaign.cardinalities()
+    weighted = {
+        card: campaign.weighted_avf(COMPONENT, card) for card in cards
+    }
+    for card in cards:
+        assert 0.0 <= weighted[card] <= 1.0
+    # Multi-bit faults must not *reduce* the weighted AVF (noise margin for
+    # small default sample counts).
+    if 1 in weighted and 3 in weighted:
+        assert weighted[3] >= weighted[1] - 0.10
+
+    # Paper observation: L2 behaves like L1D (SDC + crash mix, low
+    # timeout/assert rates).
+    from repro.core.avf import FaultClass, weighted_fraction
+    cycles = campaign.golden_cycles()
+    counts = campaign.counts_by_workload(COMPONENT, 3)
+    timeout = weighted_fraction(counts, cycles, FaultClass.TIMEOUT)
+    assert timeout < 0.2

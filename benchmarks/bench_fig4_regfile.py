@@ -1,0 +1,37 @@
+"""F4 — Fig. 4: AVF for single/double/triple-bit faults, Register File.
+
+Regenerates the per-workload fault-effect breakdown from the shared
+campaign and checks the figure's qualitative shape.
+"""
+
+from _shared import write_artifact
+
+from repro.core.report import render_component_figure
+
+COMPONENT = "regfile"
+
+
+def test_fig4_regfile_breakdown(campaign, benchmark):
+    text = benchmark(
+        render_component_figure, campaign, COMPONENT, "FIG. 4"
+    )
+    print("\n" + text)
+    write_artifact("fig4_regfile", text)
+
+    cards = campaign.cardinalities()
+    weighted = {
+        card: campaign.weighted_avf(COMPONENT, card) for card in cards
+    }
+    for card in cards:
+        assert 0.0 <= weighted[card] <= 1.0
+    # Multi-bit faults must not *reduce* the weighted AVF (noise margin for
+    # small default sample counts).
+    if 1 in weighted and 3 in weighted:
+        assert weighted[3] >= weighted[1] - 0.10
+
+    # Paper observation: the register file is the least vulnerable
+    # component (highest masked rate).
+    others = [c for c in ("l1d", "l1i", "l2", "dtlb", "itlb")]
+    rf_avf = campaign.weighted_avf(COMPONENT, 1)
+    other_avfs = [campaign.weighted_avf(c, 1) for c in others]
+    assert rf_avf <= min(other_avfs) + 0.05

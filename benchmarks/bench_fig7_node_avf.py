@@ -1,0 +1,31 @@
+"""F7 — Fig. 7: aggregate multi-bit AVF per component per technology node.
+
+Eq. 3 over the shared campaign's Table V values: green = single-bit-only
+AVF (identical to the 250nm bar), red = the extra vulnerability the
+realistic MBU mix adds.  The paper's headline: the single-bit-only
+assessment gap reaches 11-35% (by component) at 22nm.
+"""
+
+from _shared import write_artifact
+
+from repro.core.avf import assessment_gap, node_avf
+from repro.core.report import COMPONENT_ORDER, render_fig7
+from repro.core.technology import TECHNOLOGY_NODES
+
+
+def test_fig7_node_avf(campaign, benchmark):
+    text = benchmark(render_fig7, campaign)
+    print("\n" + text)
+    write_artifact("fig7_node_avf", text)
+
+    for component in COMPONENT_ORDER:
+        avfs = campaign.weighted_avf_by_cardinality(component)
+        # 250nm is single-bit only: aggregate equals the single-bit AVF.
+        assert node_avf(avfs, "250nm") == avfs[1]
+        # The assessment gap grows monotonically with density (modulo the
+        # paper's own 45nm->32nm plateau, which the rates data encodes).
+        gaps = [assessment_gap(avfs, node) for node in TECHNOLOGY_NODES]
+        assert gaps[0] == 0.0
+        if avfs[1] > 0.02:  # meaningful single-bit baseline
+            assert gaps[-1] >= gaps[1] - 1e-9
+            assert gaps[-1] > 0.0  # single-bit-only assessment misses AVF

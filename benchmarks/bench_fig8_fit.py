@@ -1,0 +1,38 @@
+"""F8 — Fig. 8: whole-CPU FIT per technology node with the multi-bit share.
+
+Eq. 4 with the paper's Table VII raw FIT rates and Table VIII bit counts on
+the shared campaign's AVFs.  Shape checks: FIT peaks at 130nm and then
+falls; the multi-bit share starts at 0% (250nm) and grows with density
+(the paper reaches ~21% at 22nm).
+"""
+
+from _shared import write_artifact
+
+from repro.core.fit import cpu_fit_by_node
+from repro.core.report import COMPONENT_ORDER, render_fig8
+from repro.core.technology import TECHNOLOGY_NODES
+
+
+def test_fig8_cpu_fit(campaign, benchmark):
+    text = benchmark(render_fig8, campaign)
+    print("\n" + text)
+    write_artifact("fig8_fit", text)
+
+    avf_tables = {
+        component: campaign.weighted_avf_by_cardinality(component)
+        for component in COMPONENT_ORDER
+    }
+    fits = cpu_fit_by_node(avf_tables)
+
+    totals = [fits[node].fit_total for node in TECHNOLOGY_NODES]
+    assert TECHNOLOGY_NODES[totals.index(max(totals))] == "130nm"
+    assert totals[-1] < totals[-2] < totals[-3]  # falling after the peak
+
+    shares = [fits[node].multibit_share for node in TECHNOLOGY_NODES]
+    assert shares[0] == 0.0
+    assert shares[-1] == max(shares)
+    assert shares[-1] > 0.02  # multi-bit faults contribute real FIT at 22nm
+
+    # The L2, by far the largest structure, dominates CPU FIT.
+    at_22 = {c.component: c.fit_total for c in fits["22nm"].components}
+    assert max(at_22, key=at_22.get) == "l2"

@@ -1,0 +1,59 @@
+"""D1 — Diagnostic: structure-occupancy profiles (HVF-style).
+
+Not a paper artifact, but the measurement that justifies the scale model
+(DESIGN.md §5): occupancy upper-bounds AVF, so these profiles explain the
+per-component AVF magnitudes of Figs. 1-6 and would flag any future change
+that silently drains a structure.
+"""
+
+from _shared import write_artifact
+
+from repro.core.campaign import golden_run
+from repro.core.occupancy import profile_occupancy
+from repro.core.report import format_table
+from repro.cpu.system import System
+from repro.workloads import get_workload
+
+WORKLOADS = ("dijkstra", "sha", "susan_c")
+COMPONENTS = ("l1d", "l1i", "l2", "regfile", "dtlb", "itlb")
+
+
+def _profile(name):
+    workload = get_workload(name)
+    golden = golden_run(workload)
+    system = System()
+    system.load(workload.program())
+    return profile_occupancy(system, 4 * golden.cycles, interval=800)
+
+
+def test_occupancy_profiles(benchmark):
+    profiles = {name: _profile(name) for name in WORKLOADS[:-1]}
+    profiles[WORKLOADS[-1]] = benchmark.pedantic(
+        _profile, args=(WORKLOADS[-1],), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, profile in profiles.items():
+        summary = profile.summary()
+        for component in COMPONENTS:
+            mean, peak = summary[component]
+            rows.append([
+                name if component == COMPONENTS[0] else "",
+                component,
+                f"{100 * mean:6.1f}%",
+                f"{100 * peak:6.1f}%",
+            ])
+    text = format_table(
+        ["Workload", "Component", "Mean occupancy", "Peak occupancy"],
+        rows,
+        "DIAGNOSTIC D1: live-state occupancy of the injected structures",
+    )
+    print("\n" + text)
+    write_artifact("occupancy_profile", text)
+
+    for profile in profiles.values():
+        summary = profile.summary()
+        # The scale model's purpose: warm structures, like the paper's.
+        assert summary["l1i"][1] > 0.5
+        assert summary["itlb"][1] >= 0.25
+        assert all(0.0 <= m <= p <= 1.0 for m, p in summary.values())

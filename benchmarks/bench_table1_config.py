@@ -1,0 +1,38 @@
+"""T1 — Table I: summary of setup attributes.
+
+Regenerates the configuration table and times full-system construction
+(the per-injection setup cost of the campaign engine).
+"""
+
+from _shared import write_artifact
+
+from repro.core.report import render_table1
+from repro.cpu.config import DEFAULT_CONFIG
+from repro.cpu.system import System
+
+
+def test_table1_setup_attributes(benchmark):
+    benchmark(System)  # cost of building one simulated machine
+    text = render_table1(DEFAULT_CONFIG)
+    text += (
+        "\n\nNote: capacities are the scale model (DESIGN.md §5); "
+        "the paper's full-size\nconfiguration is "
+        "CoreConfig.paper_scale():\n\n"
+    )
+    from repro.core.report import format_table
+    paper = DEFAULT_CONFIG.paper_scale()
+    text += format_table(
+        ["Microarchitectural attribute", "Value (paper scale)"],
+        [[k, v] for k, v in paper.table1_rows()],
+    )
+    print("\n" + text)
+    write_artifact("table1_config", text)
+
+    rows = dict(DEFAULT_CONFIG.table1_rows())
+    assert rows["Reorder buffer"] == "40"
+    assert rows["Instruction queue"] == "32"
+    assert rows["Fetch / Execute / Writeback width"] == "2/4/4"
+    paper_rows = dict(paper.table1_rows())
+    assert paper_rows["L1 Data cache"] == "32KB 4-way"
+    assert paper_rows["L2 cache"] == "512KB 8-way"
+    assert paper_rows["Data / Instruction TLB"] == "32 entries"

@@ -1,0 +1,37 @@
+"""T3 — Table III: benchmark execution time (golden, fault-free runs).
+
+Times one complete golden simulation and regenerates the execution-time
+table for all 15 workloads, checking the rank agreement with the paper.
+"""
+
+from _shared import write_artifact
+
+from repro.core.campaign import golden_run
+from repro.core.report import render_table3
+from repro.cpu.system import System, run_program
+from repro.workloads import get_workload, workload_names
+
+
+def test_table3_execution_time(benchmark):
+    names = workload_names()
+    measured = {name: golden_run(get_workload(name)).cycles for name in names}
+    paper = {name: get_workload(name).paper_cycles for name in names}
+
+    # Benchmark: one full golden simulation of the median-sized workload.
+    program = get_workload("sha").program()
+    benchmark.pedantic(
+        lambda: run_program(program), rounds=1, iterations=1
+    )
+
+    text = render_table3(measured, paper)
+    from scipy.stats import spearmanr
+    rho, _ = spearmanr(
+        [measured[n] for n in names], [paper[n] for n in names]
+    )
+    text += f"\n\nSpearman rank correlation with the paper: {rho:.2f}"
+    print("\n" + text)
+    write_artifact("table3_exec_time", text)
+
+    assert all(cycles > 1000 for cycles in measured.values())
+    assert rho > 0.6
+    assert max(measured, key=measured.get) in ("crc32", "rijndael_dec", "fft")

@@ -1,0 +1,24 @@
+"""T6 — Table VI: multi-bit upset rates per technology node (input data).
+
+Transcribed from Ibe et al. via the paper; the bench regenerates the table
+and validates its invariants.
+"""
+
+from _shared import write_artifact
+
+from repro.core.report import render_table6
+from repro.core.technology import MBU_RATES, TECHNOLOGY_NODES
+
+
+def test_table6_mbu_rates(benchmark):
+    text = benchmark(render_table6)
+    print("\n" + text)
+    write_artifact("table6_mbu_rates", text)
+
+    assert MBU_RATES["250nm"] == (1.0, 0.0, 0.0)
+    assert MBU_RATES["22nm"] == (0.553, 0.344, 0.103)
+    for node in TECHNOLOGY_NODES:
+        rates = MBU_RATES[node]
+        assert abs(sum(rates) - 1.0) < 1e-9
+    singles = [MBU_RATES[n][0] for n in TECHNOLOGY_NODES]
+    assert singles == sorted(singles, reverse=True)

@@ -1,0 +1,22 @@
+"""T7 — Table VII: raw FIT per bit for 250nm-22nm nodes (input data)."""
+
+from _shared import write_artifact
+
+from repro.core.report import render_table7
+from repro.core.technology import RAW_FIT_PER_BIT, TECHNOLOGY_NODES
+
+
+def test_table7_raw_fit(benchmark):
+    text = benchmark(render_table7)
+    print("\n" + text)
+    write_artifact("table7_raw_fit", text)
+
+    assert RAW_FIT_PER_BIT["250nm"] == 47e-8
+    assert RAW_FIT_PER_BIT["130nm"] == 106e-8
+    assert RAW_FIT_PER_BIT["22nm"] == 23e-8
+    # Rises to a 130nm peak, then falls monotonically.
+    values = [RAW_FIT_PER_BIT[n] for n in TECHNOLOGY_NODES]
+    peak = values.index(max(values))
+    assert TECHNOLOGY_NODES[peak] == "130nm"
+    assert values[peak:] == sorted(values[peak:], reverse=True)
+    assert values[:peak + 1] == sorted(values[:peak + 1])

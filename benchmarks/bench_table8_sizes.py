@@ -1,0 +1,30 @@
+"""T8 — Table VIII: component sizes in bits.
+
+Regenerates the bit-count table used by the FIT arithmetic and checks it
+against both the paper's numbers and the simulated scale model's geometry.
+"""
+
+from _shared import write_artifact
+
+from repro.core.report import render_table8
+from repro.core.targets import PAPER_COMPONENT_BITS, simulated_component_bits
+
+
+def test_table8_component_sizes(benchmark):
+    text = benchmark(render_table8)
+    simulated = simulated_component_bits()
+    text += "\n\nSimulated scale-model sizes (bits):\n"
+    for name, bits in simulated.items():
+        text += f"  {name:8s} {bits:>9,}\n"
+    print("\n" + text)
+    write_artifact("table8_sizes", text)
+
+    assert PAPER_COMPONENT_BITS == {
+        "l1d": 262_144, "l1i": 262_144, "l2": 4_194_304,
+        "regfile": 2_112, "itlb": 1_024, "dtlb": 1_024,
+    }
+    # The injected register file is full-size (66 x 32 = 2,112 bits).
+    assert simulated["regfile"] == 2_112
+    # Cache arrays are proportional scale models of the paper's.
+    assert simulated["l1d"] < PAPER_COMPONENT_BITS["l1d"]
+    assert simulated["l2"] > simulated["l1d"]

@@ -1,0 +1,13 @@
+"""Benchmark fixtures: one shared fault-injection campaign per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from _shared import shared_campaign
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The shared campaign result every table/figure bench reads from."""
+    return shared_campaign()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Measure the vulnerability of *your own* program.
+
+The library is not tied to the 15 built-in benchmarks: anything expressible
+in MiniC can be characterised.  This example writes a small matrix-multiply
+kernel, wraps it as a workload, and measures its per-component single- vs
+triple-bit AVF — the exact experiment of the paper's Figs. 1-6, on custom
+code.
+
+Run:  python examples/custom_workload_avf.py [samples-per-cell]
+"""
+
+import random
+import sys
+
+from repro.core.campaign import golden_run, run_one_injection
+from repro.core.generator import MultiBitFaultGenerator
+from repro.cpu.system import COMPONENT_NAMES, run_program
+from repro.workloads.base import Output, Workload, fmt_ints, rng, u32
+
+MATMUL_SOURCE_TEMPLATE = """\
+int a[{n2}] = {{{a}}};
+int b[{n2}] = {{{b}}};
+int c[{n2}];
+
+void matmul(int *x, int *y, int *z, int n) {{
+    for (int i = 0; i < n; i = i + 1) {{
+        for (int j = 0; j < n; j = j + 1) {{
+            int acc = 0;
+            for (int k = 0; k < n; k = k + 1) {{
+                acc = acc + x[i * n + k] * y[k * n + j];
+            }}
+            z[i * n + j] = acc;
+        }}
+    }}
+}}
+
+int main() {{
+    matmul(a, b, c, {n});
+    int checksum = 0;
+    for (int i = 0; i < {n2}; i = i + 1) {{
+        checksum = checksum * 31 + c[i];
+    }}
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build_matmul(n: int = 8) -> Workload:
+    """A do-it-yourself workload: source + independently computed output."""
+    rand = rng(f"example-matmul-{n}")
+    a = [rand.randrange(-50, 50) for _ in range(n * n)]
+    b = [rand.randrange(-50, 50) for _ in range(n * n)]
+    c = [
+        sum(a[i * n + k] * b[k * n + j] for k in range(n))
+        for i in range(n) for j in range(n)
+    ]
+    checksum = 0
+    for value in c:
+        checksum = u32(checksum * 31 + value)
+    out = Output()
+    out.putw(checksum)
+    return Workload(
+        name="matmul",
+        paper_name="(custom)",
+        paper_cycles=1,
+        description=f"{n}x{n} integer matrix multiply",
+        source=MATMUL_SOURCE_TEMPLATE.format(
+            n=n, n2=n * n, a=fmt_ints(a), b=fmt_ints(b),
+        ),
+        expected_output=out.bytes(),
+    )
+
+
+def main() -> None:
+    samples = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    workload = build_matmul()
+    check = run_program(workload.program())
+    assert check.output == workload.expected_output, "reference mismatch"
+    golden = golden_run(workload)
+    print(f"custom workload: {workload.description}, "
+          f"golden {golden.cycles:,} cycles\n")
+    print(f"{'component':10s} {'1-bit AVF':>10} {'3-bit AVF':>10}  increase")
+    print("-" * 44)
+    cycle_rng = random.Random(3)
+    for component in COMPONENT_NAMES:
+        avfs = {}
+        for cardinality in (1, 3):
+            generator = MultiBitFaultGenerator(
+                seed=f"matmul:{component}:{cardinality}"
+            )
+            vulnerable = 0
+            for _ in range(samples):
+                fault_class, _, _ = run_one_injection(
+                    workload, component, generator, cardinality,
+                    inject_cycle=cycle_rng.randrange(golden.cycles),
+                )
+                if fault_class.value != "masked":
+                    vulnerable += 1
+            avfs[cardinality] = vulnerable / samples
+        ratio = (avfs[3] / avfs[1]) if avfs[1] else float("nan")
+        print(f"{component:10s} {100 * avfs[1]:9.1f}% {100 * avfs[3]:9.1f}%"
+              f"  {ratio:5.1f}x")
+    print(f"\n({samples} injections per cell; raise the sample count for "
+          f"tighter error margins — see repro.core.sampling)")
+
+
+if __name__ == "__main__":
+    main()

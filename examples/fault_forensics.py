@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fault forensics: trace a fault from bit flip to corrupted output.
+
+Combines the commit tracer with fault injection to answer the question the
+aggregate AVF numbers cannot: *how exactly* did this particular flip turn
+into an SDC?  The script runs the golden trace, injects one register-file
+fault, diffs the traces, and prints the first architecturally divergent
+instruction together with the surrounding context.
+
+Run:  python examples/fault_forensics.py
+"""
+
+from repro.core.campaign import golden_run
+from repro.core.classify import TIMEOUT_FACTOR, classify
+from repro.cpu.system import System
+from repro.cpu.tracing import CommitTracer
+from repro.workloads import get_workload
+
+
+def traced_run(workload, inject=None, max_cycles=None):
+    system = System()
+    system.load(workload.program())
+    tracer = CommitTracer(system.core)
+    if inject is not None:
+        cycle, component, row, col = inject
+        system.run_until(cycle, max_cycles)
+        system.injectable_targets()[component].flip_bit(row, col)
+    result = system.run(max_cycles)
+    return tracer, result
+
+
+def main() -> None:
+    workload = get_workload("basicmath")
+    golden = golden_run(workload)
+    max_cycles = TIMEOUT_FACTOR * golden.cycles
+    golden_trace, _ = traced_run(workload, max_cycles=max_cycles)
+    print(f"workload: {workload.name}, golden {golden.cycles:,} cycles, "
+          f"{len(golden_trace.records):,} committed instructions")
+
+    # Hunt for an injection that produces an SDC (not a crash), then
+    # dissect it.
+    inject = None
+    for trial in range(60):
+        cycle = (trial * 997) % golden.cycles
+        row = 16 + trial % 32        # a renamed physical register
+        col = trial % 31
+        candidate = (cycle, "regfile", row, col)
+        trace, result = traced_run(workload, candidate, max_cycles)
+        outcome = classify(result, golden)
+        if outcome.value == "sdc":
+            inject = candidate
+            break
+    if inject is None:
+        print("no SDC found in 60 probes (try another seed) — "
+              "showing a masked case instead")
+        return
+
+    cycle, component, row, col = inject
+    print(f"\ninjection: flip bit ({row}, {col}) of the {component} "
+          f"at cycle {cycle:,} -> SILENT DATA CORRUPTION")
+    divergence = trace.first_divergence(golden_trace)
+    assert divergence is not None
+    print(f"first architectural divergence at committed instruction "
+          f"#{divergence}:\n")
+    start = max(0, divergence - 3)
+    print("  golden:")
+    for record in golden_trace.records[start:divergence + 2]:
+        marker = "  >>" if record.index == divergence else "    "
+        print(marker, record.format())
+    print("  faulty:")
+    for record in trace.records[start:divergence + 2]:
+        marker = "  >>" if record.index == divergence else "    "
+        print(marker, record.format())
+    print(f"\ngolden output : {golden.output[:60]!r}")
+    print(f"faulty output : {result.output[:60]!r}")
+
+
+if __name__ == "__main__":
+    main()

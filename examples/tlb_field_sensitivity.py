@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Per-field TLB sensitivity study.
+
+The paper observes that TLBs fail differently from every other structure —
+almost no SDCs, lots of crashes/timeouts, and the highest Assert rates
+(corrupted frame numbers addressing outside the platform memory map).  This
+example drills one level deeper than the paper's figures: it injects
+single-bit faults into *specific fields* of valid DTLB entries (frame
+number, virtual page number, permissions, valid bit) and shows how each
+field produces a different failure-mode signature.
+
+Run:  python examples/tlb_field_sensitivity.py [samples-per-field]
+"""
+
+import random
+import sys
+from collections import Counter
+
+from repro.core.campaign import golden_run
+from repro.core.classify import TIMEOUT_FACTOR, classify
+from repro.mem.tlb import PPN_SHIFT, VALID_BIT, VPN_SHIFT
+from repro.cpu.system import System
+from repro.workloads import get_workload
+
+#: field name -> candidate bit columns inside a packed 32-bit TLB entry.
+FIELDS = {
+    "frame number (ppn)": list(range(PPN_SHIFT, PPN_SHIFT + 13)),
+    "virtual page (vpn)": list(range(VPN_SHIFT, VPN_SHIFT + 13)),
+    "permissions (w/x/k)": [2, 3, 4],
+    "valid bit": [31],
+    "spare bits": [0, 1],
+}
+
+
+def inject_field_bit(workload, column: int, inject_cycle: int, rng):
+    """Flip one bit column of a randomly chosen *valid* DTLB entry."""
+    golden = golden_run(workload)
+    system = System()
+    system.load(workload.program())
+    max_cycles = TIMEOUT_FACTOR * golden.cycles
+    system.run_until(inject_cycle, max_cycles)
+    valid_rows = [
+        row for row, word in enumerate(system.dtlb.packed)
+        if word & VALID_BIT or column == 31
+    ]
+    if not valid_rows:
+        return None
+    system.dtlb.flip_bit(rng.choice(valid_rows), column)
+    return classify(system.run(max_cycles), golden)
+
+
+def main() -> None:
+    samples = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    workload = get_workload("dijkstra")
+    golden = golden_run(workload)
+    rng = random.Random(7)
+    print(f"workload: {workload.name}, golden {golden.cycles:,} cycles")
+    print(f"{samples} single-bit injections per DTLB field "
+          f"(valid entries only)\n")
+    header = f"{'field':22s} {'masked':>7} {'sdc':>5} {'crash':>6} " \
+             f"{'timeout':>8} {'assert':>7}"
+    print(header)
+    print("-" * len(header))
+    for field, columns in FIELDS.items():
+        outcomes = Counter()
+        for _ in range(samples):
+            column = rng.choice(columns)
+            cycle = rng.randrange(golden.cycles)
+            result = inject_field_bit(workload, column, cycle, rng)
+            if result is not None:
+                outcomes[result.value] += 1
+        total = sum(outcomes.values()) or 1
+        print(f"{field:22s} "
+              + " ".join(
+                  f"{100 * outcomes[k] / total:6.1f}%"
+                  for k in ("masked", "sdc", "crash", "timeout", "assert")
+              ))
+    print(
+        "\nExpected signature: ppn flips crash or assert (wrong/unmapped"
+        "\nframe), vpn flips mostly mask (entry misses and refills) with"
+        "\noccasional aliasing, permission flips fault on the next access"
+        "\nof the wrong kind, valid-bit flips heal via the page-table"
+        "\nwalker, and spare bits are architecturally masked."
+    )
+
+
+if __name__ == "__main__":
+    main()

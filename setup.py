@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works on environments without the wheel
+package (legacy editable install path); all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro — Multi-Bit Upset Vulnerability Analysis of an out-of-order CPU.
+
+A full-stack reproduction of Chatzidimitriou et al., "Multi-Bit Upsets
+Vulnerability Analysis of Modern Microprocessors" (IISWC 2019):
+microarchitecture-level fault injection with spatial multi-bit fault
+masks, five-way outcome classification, and AVF/FIT analysis across
+technology nodes.
+
+Packages:
+
+* :mod:`repro.isa`       — 32-bit RISC ISA, assembler, disassembler
+* :mod:`repro.minic`     — MiniC compiler (C subset → ISA)
+* :mod:`repro.mem`       — caches, TLBs, paging, physical memory
+* :mod:`repro.kernel`    — loader, syscalls, crash semantics
+* :mod:`repro.cpu`       — out-of-order core, full system, tracing
+* :mod:`repro.workloads` — the 15 MiBench-equivalent benchmarks
+* :mod:`repro.core`      — fault injection, campaigns, AVF/FIT, reports
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,76 @@
+"""The paper's contribution: multi-bit fault injection + AVF/FIT analysis.
+
+This package is the GeFIN-equivalent layer of the reproduction:
+
+* :mod:`repro.core.faults` / :mod:`repro.core.generator` — spatial multi-bit
+  fault masks: N bit flips inside an X×Y cluster placed uniformly at random
+  in a structure's bit array (§III.B of the paper);
+* :mod:`repro.core.injector` — applies masks to the live structures of a
+  running :class:`~repro.cpu.system.System`;
+* :mod:`repro.core.classify` — the five fault-effect classes
+  (Masked / SDC / Crash / Timeout / Assert, §III.C);
+* :mod:`repro.core.campaign` — statistical fault-injection campaigns over
+  (workload × component × cardinality) cells, with golden-run caching and
+  disk-cacheable results;
+* :mod:`repro.core.sampling` — Leveugle et al. sample-size / error-margin
+  statistics (§III.A);
+* :mod:`repro.core.avf` — AVF math: per-cell AVF, execution-time-weighted
+  AVF (Eq. 2), per-node aggregate AVF (Eq. 3), vulnerability increases
+  (Tables IV/V);
+* :mod:`repro.core.technology` — Tables VI (MBU rates per node) and VII
+  (raw FIT/bit per node);
+* :mod:`repro.core.fit` — FIT rates (Eq. 4) and the multi-bit FIT share
+  (Figs. 7/8);
+* :mod:`repro.core.report` — text renderers for every table and figure.
+"""
+
+from repro.core.avf import ClassCounts, weighted_avf
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CellResult,
+    run_campaign,
+    run_one_injection,
+)
+from repro.core.classify import FaultClass, classify
+from repro.core.faults import FaultMask
+from repro.core.generator import ClusterShape, MultiBitFaultGenerator
+from repro.core.injector import inject
+from repro.core.occupancy import profile_occupancy, snapshot_occupancy
+from repro.core.protection import (
+    SECDED,
+    ProtectionOutcome,
+    ProtectionScheme,
+    evaluate_scheme,
+    secded_interleaved,
+)
+from repro.core.sampling import error_margin, sample_size
+from repro.core.technology import MBU_RATES, RAW_FIT_PER_BIT, TECHNOLOGY_NODES
+
+__all__ = [
+    "MBU_RATES",
+    "RAW_FIT_PER_BIT",
+    "TECHNOLOGY_NODES",
+    "CampaignConfig",
+    "CampaignResult",
+    "CellResult",
+    "ClassCounts",
+    "ClusterShape",
+    "FaultClass",
+    "FaultMask",
+    "SECDED",
+    "ProtectionOutcome",
+    "ProtectionScheme",
+    "MultiBitFaultGenerator",
+    "classify",
+    "error_margin",
+    "evaluate_scheme",
+    "secded_interleaved",
+    "inject",
+    "profile_occupancy",
+    "run_campaign",
+    "run_one_injection",
+    "sample_size",
+    "snapshot_occupancy",
+    "weighted_avf",
+]

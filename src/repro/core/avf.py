@@ -1,0 +1,175 @@
+"""AVF arithmetic: per-cell AVF, Eq. 2 weighting, Eq. 3 node aggregation.
+
+Terminology follows Mukherjee et al.: the AVF of a structure is the
+probability that a fault in it affects correct execution — estimated here
+as ``1 - masked fraction`` of a statistical injection campaign, with the
+non-masked probability decomposed into the SDC / Crash / Timeout / Assert
+classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classify import FaultClass
+from repro.core.technology import mbu_rates
+
+#: Non-masked classes in reporting order.
+VULNERABLE_CLASSES = (
+    FaultClass.SDC, FaultClass.CRASH, FaultClass.TIMEOUT, FaultClass.ASSERT,
+)
+
+
+@dataclass
+class ClassCounts:
+    """Outcome histogram of one campaign cell."""
+
+    masked: int = 0
+    sdc: int = 0
+    crash: int = 0
+    timeout: int = 0
+    assertion: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.masked + self.sdc + self.crash + self.timeout + self.assertion
+
+    def add(self, fault_class: FaultClass, count: int = 1) -> None:
+        name = _FIELD_OF[fault_class]
+        setattr(self, name, getattr(self, name) + count)
+
+    def count(self, fault_class: FaultClass) -> int:
+        return getattr(self, _FIELD_OF[fault_class])
+
+    def fraction(self, fault_class: FaultClass) -> float:
+        total = self.total
+        return self.count(fault_class) / total if total else 0.0
+
+    @property
+    def avf(self) -> float:
+        """1 − masked fraction: the architectural vulnerability factor."""
+        total = self.total
+        return 1.0 - self.masked / total if total else 0.0
+
+    def merged(self, other: "ClassCounts") -> "ClassCounts":
+        return ClassCounts(
+            masked=self.masked + other.masked,
+            sdc=self.sdc + other.sdc,
+            crash=self.crash + other.crash,
+            timeout=self.timeout + other.timeout,
+            assertion=self.assertion + other.assertion,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "masked": self.masked,
+            "sdc": self.sdc,
+            "crash": self.crash,
+            "timeout": self.timeout,
+            "assertion": self.assertion,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "ClassCounts":
+        return cls(**{k: int(v) for k, v in data.items()})
+
+
+_FIELD_OF = {
+    FaultClass.MASKED: "masked",
+    FaultClass.SDC: "sdc",
+    FaultClass.CRASH: "crash",
+    FaultClass.TIMEOUT: "timeout",
+    FaultClass.ASSERT: "assertion",
+}
+
+
+def weighted_avf(
+    avf_by_workload: dict[str, float],
+    cycles_by_workload: dict[str, int],
+) -> float:
+    """Eq. 2: execution-time-weighted AVF across workloads."""
+    missing = set(avf_by_workload) - set(cycles_by_workload)
+    if missing:
+        raise ValueError(f"no execution time for workloads: {sorted(missing)}")
+    total_time = sum(cycles_by_workload[k] for k in avf_by_workload)
+    if total_time == 0:
+        return 0.0
+    return (
+        sum(
+            avf * cycles_by_workload[name]
+            for name, avf in avf_by_workload.items()
+        )
+        / total_time
+    )
+
+
+def weighted_fraction(
+    counts_by_workload: dict[str, ClassCounts],
+    cycles_by_workload: dict[str, int],
+    fault_class: FaultClass,
+) -> float:
+    """Execution-time-weighted fraction of one fault-effect class."""
+    fractions = {
+        name: counts.fraction(fault_class)
+        for name, counts in counts_by_workload.items()
+    }
+    return weighted_avf(fractions, cycles_by_workload)
+
+
+def node_avf(avf_by_cardinality: dict[int, float], node: str) -> float:
+    """Eq. 3: aggregate AVF for a technology node.
+
+    Combines the per-cardinality AVFs with the node's MBU rates (Table VI).
+    """
+    rates = mbu_rates(node)
+    return sum(
+        avf_by_cardinality.get(card, 0.0) * rates[card - 1]
+        for card in (1, 2, 3)
+    )
+
+
+def assessment_gap(avf_by_cardinality: dict[int, float], node: str) -> float:
+    """Relative AVF a single-bit-only analysis misses at *node* (Fig. 7).
+
+    ``(Node_AVF − AVF_1) / AVF_1`` — e.g. the paper's 33% for L1I at 22nm.
+    """
+    single = avf_by_cardinality.get(1, 0.0)
+    if single == 0.0:
+        return 0.0
+    return (node_avf(avf_by_cardinality, node) - single) / single
+
+
+def max_increase(
+    per_workload_single: dict[str, float],
+    per_workload_multi: dict[str, float],
+) -> float:
+    """Table IV: the largest per-workload AVF ratio multi/single.
+
+    The paper's headline "3.2x (220%)" numbers are the worst-case workload
+    ratios, not the weighted-average ratios (those appear in Table V).
+    Workloads with a zero single-bit AVF are skipped.
+    """
+    best = 0.0
+    for name, single in per_workload_single.items():
+        if single <= 0.0:
+            continue
+        multi = per_workload_multi.get(name, 0.0)
+        best = max(best, multi / single)
+    return best
+
+
+@dataclass
+class ComponentAvf:
+    """Weighted AVF summary for one component (one column of Table V)."""
+
+    component: str
+    weighted: dict[int, float] = field(default_factory=dict)  # cardinality->AVF
+
+    def percentage_increase(self, cardinality: int) -> float:
+        """Table V "Percentage Increase" column (vs the previous class)."""
+        if cardinality <= 1:
+            return 0.0
+        prev = self.weighted.get(cardinality - 1, 0.0)
+        if prev == 0.0:
+            return 0.0
+        return (self.weighted[cardinality] - prev) / prev * 100.0

@@ -1,0 +1,413 @@
+"""Statistical fault-injection campaigns.
+
+A campaign sweeps the (workload × component × cardinality) grid; each cell
+runs ``samples`` independent injections:
+
+1. simulate the workload fault-free once (the *golden run*, cached);
+2. per injection: re-simulate to a uniformly random cycle of the golden
+   execution window, flip a freshly drawn fault mask in the live target
+   structure, and run to termination with a 4× golden-cycles budget;
+3. classify against the golden output (Masked / SDC / Crash / Timeout /
+   Assert) and accumulate the cell's :class:`~repro.core.avf.ClassCounts`.
+
+Everything is deterministic given the campaign seed.  Results serialise to
+JSON; :class:`CampaignStore` provides an incremental disk cache keyed by
+the exact cell parameters so interrupted campaigns resume and all benchmark
+harnesses share one set of simulations.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.core.avf import ClassCounts, weighted_avf
+from repro.core.classify import TIMEOUT_FACTOR, FaultClass, classify
+from repro.core.faults import FaultMask
+from repro.core.generator import CLUSTERED, ClusterShape, MultiBitFaultGenerator
+from repro.core.injector import inject
+from repro.errors import ConfigError
+from repro.kernel.status import RunResult, RunStatus
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.cpu.system import COMPONENT_NAMES, System
+from repro.workloads import get_workload, workload_names
+from repro.workloads.base import Workload
+
+DEFAULT_CARDINALITIES = (1, 2, 3)
+
+_GOLDEN_CACHE: dict[tuple[str, str], RunResult] = {}
+
+
+def golden_run(workload: Workload, core_cfg: CoreConfig = DEFAULT_CONFIG) -> RunResult:
+    """Fault-free execution of *workload* (cached per workload + platform).
+
+    The result is validated against the workload's independent reference
+    output: a mismatch means the toolchain itself is broken, and no
+    injection campaign on top of it would mean anything.
+    """
+    cache_key = (workload.name, repr(core_cfg))
+    cached = _GOLDEN_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    system = System(core_cfg)
+    system.load(workload.program())
+    result = system.run(max_cycles=50_000_000)
+    if result.status is not RunStatus.FINISHED:
+        raise ConfigError(
+            f"golden run of {workload.name} did not finish: {result.status}"
+        )
+    if result.output != workload.expected_output:
+        raise ConfigError(
+            f"golden run of {workload.name} does not match its reference "
+            f"output — toolchain bug"
+        )
+    _GOLDEN_CACHE[cache_key] = result
+    return result
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one campaign (defaults follow the paper's setup)."""
+
+    workloads: tuple[str, ...] = ()
+    components: tuple[str, ...] = COMPONENT_NAMES
+    cardinalities: tuple[int, ...] = DEFAULT_CARDINALITIES
+    samples: int = 100
+    seed: int = 0
+    cluster: ClusterShape = field(default_factory=ClusterShape)
+    placement: str = CLUSTERED
+
+    def resolved_workloads(self) -> tuple[str, ...]:
+        return self.workloads or tuple(workload_names())
+
+    def cells(self) -> list[tuple[str, str, int]]:
+        return [
+            (w, c, k)
+            for w in self.resolved_workloads()
+            for c in self.components
+            for k in self.cardinalities
+        ]
+
+    def cell_key(
+        self,
+        workload: str,
+        component: str,
+        cardinality: int,
+        core_cfg: CoreConfig = DEFAULT_CONFIG,
+    ) -> str:
+        """Stable identity of one cell's simulation set (for caching).
+
+        Includes a fingerprint of the simulated platform (the core config
+        and the page size) so cached results are invalidated whenever the
+        machine being injected changes.
+        """
+        from repro.mem.paging import PAGE_SHIFT
+
+        blob = json.dumps(
+            {
+                "workload": workload,
+                "component": component,
+                "cardinality": cardinality,
+                "samples": self.samples,
+                "seed": self.seed,
+                "cluster": [self.cluster.rows, self.cluster.cols],
+                "placement": self.placement,
+                "platform": repr(core_cfg) + f"/page{PAGE_SHIFT}",
+                "version": 1,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+@dataclass
+class CellResult:
+    """Outcome histogram of one (workload, component, cardinality) cell."""
+
+    workload: str
+    component: str
+    cardinality: int
+    counts: ClassCounts
+    golden_cycles: int
+
+    @property
+    def avf(self) -> float:
+        return self.counts.avf
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "component": self.component,
+            "cardinality": self.cardinality,
+            "counts": self.counts.as_dict(),
+            "golden_cycles": self.golden_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        return cls(
+            workload=data["workload"],
+            component=data["component"],
+            cardinality=int(data["cardinality"]),
+            counts=ClassCounts.from_dict(data["counts"]),
+            golden_cycles=int(data["golden_cycles"]),
+        )
+
+
+class CampaignResult:
+    """All cells of a campaign plus the analysis entry points."""
+
+    def __init__(self, cells: Iterable[CellResult]) -> None:
+        self._cells: dict[tuple[str, str, int], CellResult] = {}
+        for cell in cells:
+            self._cells[(cell.workload, cell.component, cell.cardinality)] = cell
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> list[CellResult]:
+        return list(self._cells.values())
+
+    def cell(self, workload: str, component: str, cardinality: int) -> CellResult:
+        return self._cells[(workload, component, cardinality)]
+
+    def workloads(self) -> list[str]:
+        return sorted({c.workload for c in self.cells})
+
+    def components(self) -> list[str]:
+        return sorted({c.component for c in self.cells})
+
+    def cardinalities(self) -> list[int]:
+        return sorted({c.cardinality for c in self.cells})
+
+    def golden_cycles(self) -> dict[str, int]:
+        return {c.workload: c.golden_cycles for c in self.cells}
+
+    # -- analysis ------------------------------------------------------------
+
+    def counts_by_workload(
+        self, component: str, cardinality: int
+    ) -> dict[str, ClassCounts]:
+        return {
+            c.workload: c.counts
+            for c in self.cells
+            if c.component == component and c.cardinality == cardinality
+        }
+
+    def avf_by_workload(
+        self, component: str, cardinality: int
+    ) -> dict[str, float]:
+        return {
+            name: counts.avf
+            for name, counts in self.counts_by_workload(
+                component, cardinality
+            ).items()
+        }
+
+    def weighted_avf(self, component: str, cardinality: int) -> float:
+        """Eq. 2 for one component and fault cardinality (Table V)."""
+        return weighted_avf(
+            self.avf_by_workload(component, cardinality), self.golden_cycles()
+        )
+
+    def weighted_avf_by_cardinality(self, component: str) -> dict[int, float]:
+        return {
+            card: self.weighted_avf(component, card)
+            for card in self.cardinalities()
+        }
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"cells": [c.as_dict() for c in self.cells]}, indent=1
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> "CampaignResult":
+        data = json.loads(blob)
+        return cls(CellResult.from_dict(c) for c in data["cells"])
+
+
+class CheckpointedWorkload:
+    """Snapshots of one workload's fault-free execution.
+
+    Because the simulator is deterministic and a :class:`System` is a pure
+    object graph, a ``copy.deepcopy`` taken at cycle *c* behaves exactly
+    like a fresh system simulated to cycle *c*.  Campaigns exploit this to
+    skip re-simulating the golden prefix of every injection: cloning a
+    snapshot costs milliseconds, simulating tens of thousands of cycles
+    costs seconds.  Results are bit-identical to the unoptimised path.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        core_cfg: CoreConfig = DEFAULT_CONFIG,
+        snapshots: int = 24,
+    ) -> None:
+        self.workload = workload
+        self.core_cfg = core_cfg
+        golden = golden_run(workload, core_cfg)
+        self.golden = golden
+        system = System(core_cfg)
+        system.load(workload.program())
+        step = max(1, golden.cycles // snapshots)
+        self._checkpoints: list[tuple[int, System]] = []
+        for target in range(0, golden.cycles, step):
+            if not system.run_until(target, golden.cycles + 1):
+                break  # pragma: no cover - golden run is deterministic
+            self._checkpoints.append((system.cycle, copy.deepcopy(system)))
+
+    def system_at(self, cycle: int) -> System:
+        """A fresh system advanced to the latest checkpoint <= *cycle*."""
+        best = None
+        for snap_cycle, snapshot in self._checkpoints:
+            if snap_cycle <= cycle:
+                best = snapshot
+            else:
+                break
+        if best is None:
+            system = System(self.core_cfg)
+            system.load(self.workload.program())
+            return system
+        return copy.deepcopy(best)
+
+
+_CHECKPOINT_CACHE: dict[str, CheckpointedWorkload] = {}
+
+
+def _checkpoints_for(
+    workload: Workload, core_cfg: CoreConfig
+) -> CheckpointedWorkload:
+    # Keep only the most recent workload's snapshots: campaigns iterate
+    # workload-major, and snapshots are tens of MB across all 15.
+    cached = _CHECKPOINT_CACHE.get(workload.name)
+    if cached is None or cached.core_cfg is not core_cfg:
+        _CHECKPOINT_CACHE.clear()
+        cached = CheckpointedWorkload(workload, core_cfg)
+        _CHECKPOINT_CACHE[workload.name] = cached
+    return cached
+
+
+def run_one_injection(
+    workload: Workload,
+    component: str,
+    generator: MultiBitFaultGenerator,
+    cardinality: int,
+    inject_cycle: int,
+    core_cfg: CoreConfig = DEFAULT_CONFIG,
+    checkpoints: CheckpointedWorkload | None = None,
+) -> tuple[FaultClass, RunResult, FaultMask]:
+    """One complete injection experiment; see the module docstring.
+
+    Pass *checkpoints* (see :class:`CheckpointedWorkload`) to skip
+    re-simulating the fault-free prefix; the outcome is identical.
+    """
+    golden = golden_run(workload, core_cfg)
+    max_cycles = TIMEOUT_FACTOR * golden.cycles
+    if checkpoints is not None:
+        system = checkpoints.system_at(inject_cycle)
+    else:
+        system = System(core_cfg)
+        system.load(workload.program())
+    mask = generator.generate(
+        system.injectable_targets()[component], cardinality
+    )
+    reached = system.run_until(inject_cycle, max_cycles)
+    if not reached:  # pragma: no cover - golden prefix is deterministic
+        raise ConfigError(
+            f"injection cycle {inject_cycle} not reachable in "
+            f"{workload.name} (golden={golden.cycles})"
+        )
+    inject(system, mask)
+    result = system.run(max_cycles)
+    return classify(result, golden), result, mask
+
+
+def run_cell(
+    workload_name: str,
+    component: str,
+    cardinality: int,
+    config: CampaignConfig,
+    core_cfg: CoreConfig = DEFAULT_CONFIG,
+) -> CellResult:
+    """Run all of one cell's injections."""
+    workload = get_workload(workload_name)
+    golden = golden_run(workload, core_cfg)
+    cell_seed = f"{config.seed}:{workload_name}:{component}:{cardinality}"
+    generator = MultiBitFaultGenerator(
+        cluster=config.cluster, mode=config.placement, seed=cell_seed
+    )
+    cycle_rng = random.Random(f"repro-cycles:{cell_seed}")
+    checkpoints = _checkpoints_for(workload, core_cfg)
+    counts = ClassCounts()
+    for _ in range(config.samples):
+        inject_cycle = cycle_rng.randrange(golden.cycles)
+        fault_class, _, _ = run_one_injection(
+            workload, component, generator, cardinality, inject_cycle,
+            core_cfg, checkpoints=checkpoints,
+        )
+        counts.add(fault_class)
+    return CellResult(
+        workload=workload_name,
+        component=component,
+        cardinality=cardinality,
+        counts=counts,
+        golden_cycles=golden.cycles,
+    )
+
+
+ProgressFn = Callable[[int, int, CellResult], None]
+
+
+def run_campaign(
+    config: CampaignConfig,
+    progress: ProgressFn | None = None,
+    store: "CampaignStore | None" = None,
+    core_cfg: CoreConfig = DEFAULT_CONFIG,
+) -> CampaignResult:
+    """Run (or resume, via *store*) a full campaign."""
+    cells = config.cells()
+    results: list[CellResult] = []
+    for index, (workload, component, cardinality) in enumerate(cells):
+        key = config.cell_key(workload, component, cardinality, core_cfg)
+        cached = store.get(key) if store is not None else None
+        if cached is None:
+            cached = run_cell(workload, component, cardinality, config, core_cfg)
+            if store is not None:
+                store.put(key, cached)
+        results.append(cached)
+        if progress is not None:
+            progress(index + 1, len(cells), cached)
+    return CampaignResult(results)
+
+
+class CampaignStore:
+    """Incremental per-cell JSON cache on disk."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._data: dict[str, dict] = {}
+        if self.path.exists():
+            self._data = json.loads(self.path.read_text())
+
+    def get(self, key: str) -> CellResult | None:
+        raw = self._data.get(key)
+        return CellResult.from_dict(raw) if raw is not None else None
+
+    def put(self, key: str, cell: CellResult) -> None:
+        self._data[key] = cell.as_dict()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._data))
+        tmp.replace(self.path)
+
+    def __len__(self) -> int:
+        return len(self._data)

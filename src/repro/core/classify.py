@@ -1,0 +1,52 @@
+"""Fault-effect classification (§III.C of the paper).
+
+Five classes:
+
+* **Masked** — execution indistinguishable from the golden run (identical
+  program output and exit status);
+* **SDC** — program ran to completion but its output differs silently;
+* **Crash** — process abort (architectural exception at commit) or kernel
+  panic;
+* **Timeout** — did not finish within 4× the fault-free execution time
+  (deadlock: commit permanently stalled; livelock: executing garbage
+  forever);
+* **Assert** — the simulator itself hit an unrepresentable state (e.g. a
+  corrupted translation addressing outside the platform memory map).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.kernel.status import RunResult, RunStatus
+
+#: Timeout bound relative to the golden run, per the paper.
+TIMEOUT_FACTOR = 4
+
+
+class FaultClass(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"
+    TIMEOUT = "timeout"
+    ASSERT = "assert"
+
+
+_STATUS_CLASS = {
+    RunStatus.CRASH_PROCESS: FaultClass.CRASH,
+    RunStatus.CRASH_KERNEL: FaultClass.CRASH,
+    RunStatus.TIMEOUT_DEADLOCK: FaultClass.TIMEOUT,
+    RunStatus.TIMEOUT_LIVELOCK: FaultClass.TIMEOUT,
+    RunStatus.SIM_ASSERT: FaultClass.ASSERT,
+}
+
+
+def classify(result: RunResult, golden: RunResult) -> FaultClass:
+    """Classify one faulty run against the golden (fault-free) run."""
+    if result.status is RunStatus.FINISHED:
+        same = (
+            result.output == golden.output
+            and result.exit_code == golden.exit_code
+        )
+        return FaultClass.MASKED if same else FaultClass.SDC
+    return _STATUS_CLASS[result.status]

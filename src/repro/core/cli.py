@@ -1,0 +1,223 @@
+"""Command-line entry point: run campaigns and regenerate paper artifacts.
+
+Examples::
+
+    repro-campaign run --samples 50 --workloads crc32 sha --out results.json
+    repro-campaign report --results results.json --artifact table5
+    repro-campaign golden
+    repro-campaign static --artifact table6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import report
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignStore,
+    golden_run,
+    run_campaign,
+)
+from repro.core.generator import CLUSTERED, INDEPENDENT, ClusterShape
+from repro.cpu.config import DEFAULT_CONFIG
+from repro.cpu.system import COMPONENT_NAMES
+from repro.workloads import get_workload, workload_names
+
+_FIGURES = {
+    "fig1": ("l1d", "FIG. 1"),
+    "fig2": ("l1i", "FIG. 2"),
+    "fig3": ("l2", "FIG. 3"),
+    "fig4": ("regfile", "FIG. 4"),
+    "fig5": ("dtlb", "FIG. 5"),
+    "fig6": ("itlb", "FIG. 6"),
+}
+
+_STATIC = {
+    "table1": lambda: report.render_table1(DEFAULT_CONFIG),
+    "table6": report.render_table6,
+    "table7": report.render_table7,
+    "table8": report.render_table8,
+}
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="workload subset (default: all 15)",
+    )
+    parser.add_argument(
+        "--components", nargs="*", default=list(COMPONENT_NAMES),
+        choices=list(COMPONENT_NAMES),
+    )
+    parser.add_argument(
+        "--cardinalities", nargs="*", type=int, default=[1, 2, 3]
+    )
+    parser.add_argument("--samples", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cluster", default="3x3", help="cluster shape ROWSxCOLS"
+    )
+    parser.add_argument(
+        "--placement", choices=[CLUSTERED, INDEPENDENT], default=CLUSTERED
+    )
+    parser.add_argument(
+        "--store", type=Path, default=None,
+        help="incremental cell cache (JSON file)",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    rows, _, cols = args.cluster.partition("x")
+    return CampaignConfig(
+        workloads=tuple(args.workloads) if args.workloads else (),
+        components=tuple(args.components),
+        cardinalities=tuple(args.cardinalities),
+        samples=args.samples,
+        seed=args.seed,
+        cluster=ClusterShape(int(rows), int(cols)),
+        placement=args.placement,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    store = CampaignStore(args.store) if args.store else None
+
+    def progress(done: int, total: int, cell) -> None:
+        print(
+            f"[{done:>4}/{total}] {cell.workload}/{cell.component}/"
+            f"{cell.cardinality}-bit AVF={cell.avf:.3f}",
+            file=sys.stderr,
+        )
+
+    result = run_campaign(config, progress=progress, store=store)
+    blob = result.to_json()
+    if args.out:
+        Path(args.out).write_text(blob)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(blob)
+    return 0
+
+
+def _load_result(path: Path) -> CampaignResult:
+    return CampaignResult.from_json(path.read_text())
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = _load_result(args.results)
+    artifact = args.artifact
+    if artifact in _FIGURES:
+        component, title = _FIGURES[artifact]
+        print(report.render_component_figure(result, component, title))
+    elif artifact == "table4":
+        print(report.render_table4(result))
+    elif artifact == "table5":
+        print(report.render_table5(result))
+    elif artifact == "fig7":
+        print(report.render_fig7(result))
+    elif artifact == "fig8":
+        print(report.render_fig8(result))
+    else:
+        print(f"unknown artifact {artifact!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_static(args: argparse.Namespace) -> int:
+    renderer = _STATIC.get(args.artifact)
+    if renderer is None:
+        print(f"unknown static artifact {args.artifact!r}", file=sys.stderr)
+        return 2
+    print(renderer())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core import export
+
+    exporters = {
+        "cells": export.cells_to_csv,
+        "weighted-avf": export.weighted_avf_to_csv,
+        "node-avf": export.node_avf_to_csv,
+        "fit": export.fit_to_csv,
+    }
+    result = _load_result(args.results)
+    print(exporters[args.what](result), end="")
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    names = args.workloads or workload_names()
+    measured = {}
+    for name in names:
+        workload = get_workload(name)
+        result = golden_run(workload)
+        measured[name] = result.cycles
+        print(
+            f"{name:14s} cycles={result.cycles:>9,} "
+            f"instructions={result.instructions:>9,} ipc={result.ipc:.2f}"
+        )
+    paper = {name: get_workload(name).paper_cycles for name in names}
+    print()
+    print(report.render_table3(measured, paper))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Multi-bit upset fault-injection campaigns "
+        "(IISWC 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run an injection campaign")
+    _add_campaign_args(p_run)
+    p_run.add_argument("--out", type=Path, default=None)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="render a table/figure from campaign results"
+    )
+    p_report.add_argument("--results", type=Path, required=True)
+    p_report.add_argument(
+        "--artifact", required=True,
+        choices=sorted([*_FIGURES, "table4", "table5", "fig7", "fig8"]),
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_static = sub.add_parser(
+        "static", help="render a data table that needs no campaign"
+    )
+    p_static.add_argument(
+        "--artifact", required=True, choices=sorted(_STATIC)
+    )
+    p_static.set_defaults(func=_cmd_static)
+
+    p_export = sub.add_parser(
+        "export", help="export campaign results as CSV"
+    )
+    p_export.add_argument("--results", type=Path, required=True)
+    p_export.add_argument(
+        "--what", required=True,
+        choices=["cells", "weighted-avf", "node-avf", "fit"],
+    )
+    p_export.set_defaults(func=_cmd_export)
+
+    p_golden = sub.add_parser(
+        "golden", help="run fault-free golden simulations (Table III)"
+    )
+    p_golden.add_argument("--workloads", nargs="*", default=None)
+    p_golden.set_defaults(func=_cmd_golden)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Machine-readable exports of campaign results and derived analyses.
+
+The text renderers in :mod:`repro.core.report` regenerate the paper's
+artifacts for humans; this module produces CSV for downstream tooling
+(plotting, regression tracking, spreadsheets).  Every row carries the raw
+counts, so any derived statistic can be recomputed from the export alone.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.core.avf import node_avf
+from repro.core.campaign import CampaignResult
+from repro.core.fit import cpu_fit_by_node
+from repro.core.technology import TECHNOLOGY_NODES
+
+
+def cells_to_csv(result: CampaignResult) -> str:
+    """One row per campaign cell with the full outcome histogram."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "workload", "component", "cardinality", "golden_cycles",
+        "masked", "sdc", "crash", "timeout", "assertion", "avf",
+    ])
+    for cell in sorted(
+        result.cells,
+        key=lambda c: (c.workload, c.component, c.cardinality),
+    ):
+        counts = cell.counts
+        writer.writerow([
+            cell.workload, cell.component, cell.cardinality,
+            cell.golden_cycles, counts.masked, counts.sdc, counts.crash,
+            counts.timeout, counts.assertion, f"{counts.avf:.6f}",
+        ])
+    return buffer.getvalue()
+
+
+def weighted_avf_to_csv(result: CampaignResult) -> str:
+    """Table V as CSV: component x cardinality weighted AVFs."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["component", "cardinality", "weighted_avf"])
+    for component in result.components():
+        for cardinality, avf in sorted(
+            result.weighted_avf_by_cardinality(component).items()
+        ):
+            writer.writerow([component, cardinality, f"{avf:.6f}"])
+    return buffer.getvalue()
+
+
+def node_avf_to_csv(result: CampaignResult) -> str:
+    """Fig. 7 as CSV: aggregate AVF per component per technology node."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["component", "node", "single_bit_avf", "aggregate_avf"])
+    for component in result.components():
+        avfs = result.weighted_avf_by_cardinality(component)
+        for node in TECHNOLOGY_NODES:
+            writer.writerow([
+                component, node,
+                f"{avfs.get(1, 0.0):.6f}",
+                f"{node_avf(avfs, node):.6f}",
+            ])
+    return buffer.getvalue()
+
+
+def fit_to_csv(result: CampaignResult) -> str:
+    """Fig. 8 as CSV: per-node CPU FIT decomposition."""
+    avf_tables = {
+        component: result.weighted_avf_by_cardinality(component)
+        for component in result.components()
+    }
+    fits = cpu_fit_by_node(avf_tables)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "node", "fit_total", "fit_single_only", "fit_multibit",
+        "multibit_share",
+    ])
+    for node in TECHNOLOGY_NODES:
+        fit = fits[node]
+        writer.writerow([
+            node, f"{fit.fit_total:.6f}", f"{fit.fit_single_only:.6f}",
+            f"{fit.fit_multibit:.6f}", f"{fit.multibit_share:.6f}",
+        ])
+    return buffer.getvalue()

@@ -1,0 +1,50 @@
+"""Fault mask: the exact set of bits one injection flips."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultMask:
+    """A spatial multi-bit fault targeting one hardware structure.
+
+    ``bits`` are absolute (row, column) coordinates in the target's
+    injection geometry; they were drawn inside an X×Y cluster whose top-left
+    corner is ``origin`` (paper §III.B).  ``cardinality`` is the number of
+    simultaneous flips (1 = SBU, 2/3 = spatial MBU).
+    """
+
+    component: str
+    bits: tuple[tuple[int, int], ...]
+    origin: tuple[int, int]
+    cluster: tuple[int, int]
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.bits)
+
+    def __post_init__(self) -> None:
+        if not self.bits:
+            raise ValueError("a fault mask needs at least one bit")
+        if len(set(self.bits)) != len(self.bits):
+            raise ValueError(f"duplicate bits in fault mask: {self.bits}")
+        rows, cols = self.cluster
+        r0, c0 = self.origin
+        for row, col in self.bits:
+            if not (r0 <= row < r0 + rows and c0 <= col < c0 + cols):
+                raise ValueError(
+                    f"bit ({row}, {col}) outside the {rows}x{cols} cluster "
+                    f"at {self.origin}"
+                )
+
+    def bounding_box(self) -> tuple[int, int]:
+        """(height, width) of the smallest box containing all flips.
+
+        The paper notes (§III.B) that, unlike Ibe's MBU coding, its
+        generator also produces patterns whose bounding box is smaller than
+        the nominal cluster — this accessor lets analyses measure that.
+        """
+        rows = [r for r, _ in self.bits]
+        cols = [c for _, c in self.bits]
+        return max(rows) - min(rows) + 1, max(cols) - min(cols) + 1

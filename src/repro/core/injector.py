@@ -1,0 +1,26 @@
+"""Applies fault masks to a live simulated system."""
+
+from __future__ import annotations
+
+from repro.core.faults import FaultMask
+from repro.cpu.system import System
+from repro.errors import ConfigError
+from repro.mem.sram import flip_bits
+
+
+def inject(system: System, mask: FaultMask) -> None:
+    """Flip the mask's bits in the named component of *system*.
+
+    This is the moment the particle strikes: it mutates the live structure
+    mid-simulation.  Whether anything observable happens depends entirely on
+    whether the corrupted bits are subsequently consumed — that is what the
+    campaign measures.
+    """
+    targets = system.injectable_targets()
+    target = targets.get(mask.component)
+    if target is None:
+        raise ConfigError(
+            f"unknown component {mask.component!r}; "
+            f"available: {', '.join(targets)}"
+        )
+    flip_bits(target, mask.bits)

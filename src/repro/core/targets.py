@@ -1,0 +1,55 @@
+"""Injection-target metadata: component sizes (Table VIII of the paper).
+
+Two bit counts exist per component:
+
+* the **paper sizes** (Table VIII) — used for the FIT arithmetic of Eq. 4 /
+  Fig. 8, because FIT is linear in the number of bits and the paper's
+  numbers are what the reproduction must regenerate;
+* the **simulated sizes** — the scale-model structures actually injected
+  (see DESIGN.md §5); available for ablations via
+  :func:`simulated_component_bits`.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.cpu.system import COMPONENT_NAMES, System
+
+#: Table VIII — component sizes in bits on the paper's Cortex-A9.
+PAPER_COMPONENT_BITS: dict[str, int] = {
+    "l1d": 262_144,
+    "l1i": 262_144,
+    "l2": 4_194_304,
+    "regfile": 2_112,
+    "itlb": 1_024,
+    "dtlb": 1_024,
+}
+
+#: Human-readable component labels used in tables/figures.
+COMPONENT_LABELS: dict[str, str] = {
+    "l1d": "L1D Cache",
+    "l1i": "L1I Cache",
+    "l2": "L2 Cache",
+    "regfile": "Register File",
+    "dtlb": "DTLB",
+    "itlb": "ITLB",
+}
+
+
+def simulated_component_bits(cfg: CoreConfig = DEFAULT_CONFIG) -> dict[str, int]:
+    """Bit counts of the structures the simulator actually injects."""
+    system = System(cfg)
+    return {
+        name: target.inject_rows * target.inject_cols
+        for name, target in system.injectable_targets().items()
+    }
+
+
+def check_component_names() -> None:
+    """Invariant: the registry and the simulator agree on component names."""
+    missing = set(COMPONENT_NAMES) ^ set(PAPER_COMPONENT_BITS)
+    if missing:  # pragma: no cover - construction-time sanity
+        raise AssertionError(f"component name mismatch: {missing}")
+
+
+check_component_names()

@@ -1,0 +1,63 @@
+"""Technology-node data: Tables VI and VII of the paper.
+
+Both tables originate in Ibe et al. (IEEE TED 2010) — neutron-induced MBU
+cardinality rates and raw per-bit FIT rates for 250 nm through 22 nm SRAM
+design rules.  The paper folds 4-bit-and-larger upsets (whose rates are
+near zero) into the triple-bit class; these numbers already include that.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Fabrication nodes, oldest first.
+TECHNOLOGY_NODES = (
+    "250nm", "180nm", "130nm", "90nm", "65nm", "45nm", "32nm", "22nm",
+)
+
+#: Table VI — probability that a particle-induced upset is a single-,
+#: double- or triple-bit fault, per node.  Rows sum to 1.
+MBU_RATES: dict[str, tuple[float, float, float]] = {
+    "250nm": (1.000, 0.000, 0.000),
+    "180nm": (0.964, 0.036, 0.000),
+    "130nm": (0.934, 0.044, 0.022),
+    "90nm": (0.878, 0.096, 0.026),
+    "65nm": (0.816, 0.161, 0.023),
+    "45nm": (0.722, 0.230, 0.048),
+    "32nm": (0.653, 0.291, 0.056),
+    "22nm": (0.553, 0.344, 0.103),
+}
+
+#: Table VII — raw soft-error FIT rate per bit, per node.
+RAW_FIT_PER_BIT: dict[str, float] = {
+    "250nm": 47e-8,
+    "180nm": 85e-8,
+    "130nm": 106e-8,
+    "90nm": 100e-8,
+    "65nm": 85e-8,
+    "45nm": 58e-8,
+    "32nm": 38e-8,
+    "22nm": 23e-8,
+}
+
+
+def mbu_rates(node: str) -> tuple[float, float, float]:
+    """(single, double, triple) upset probabilities for *node*."""
+    try:
+        return MBU_RATES[node]
+    except KeyError:
+        raise ConfigError(
+            f"unknown technology node {node!r}; "
+            f"known: {', '.join(TECHNOLOGY_NODES)}"
+        ) from None
+
+
+def raw_fit_per_bit(node: str) -> float:
+    """Raw FIT/bit for *node* (Table VII)."""
+    try:
+        return RAW_FIT_PER_BIT[node]
+    except KeyError:
+        raise ConfigError(
+            f"unknown technology node {node!r}; "
+            f"known: {', '.join(TECHNOLOGY_NODES)}"
+        ) from None

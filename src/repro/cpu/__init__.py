@@ -1,0 +1,27 @@
+"""Out-of-order CPU model (the gem5 / ARM Cortex-A9 substitute).
+
+The core implements the microarchitecture of Table I of the paper: a 2-wide
+fetch/rename front end, 40-entry reorder buffer, 32-entry instruction queue,
+a physical register file, 4-wide issue/writeback and 4-wide commit, backed
+by the cache/TLB hierarchy of :mod:`repro.mem`.
+
+Crucially for fault injection, every architectural value flows through the
+injectable structures: operand values are read from the physical register
+file at issue, instruction words from the L1I data array at fetch, data from
+the L1D/L2 arrays at execute, and translations from the packed ITLB/DTLB
+entry words on every fetch and memory access.
+"""
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.core import OutOfOrderCore
+from repro.cpu.regfile import PhysRegFile
+from repro.cpu.system import System
+from repro.cpu.tracing import CommitTracer
+
+__all__ = [
+    "CommitTracer",
+    "CoreConfig",
+    "OutOfOrderCore",
+    "PhysRegFile",
+    "System",
+]

@@ -1,0 +1,133 @@
+"""Full-system composition: core + caches + TLBs + paging + kernel.
+
+A :class:`System` owns one simulated machine and one loaded process.  It is
+single-use: build, load, run.  The fault injector reaches the live hardware
+structures through :meth:`System.injectable_targets`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimAssertion
+from repro.isa.program import Program
+from repro.kernel.loader import LoadedProcess, load_program
+from repro.kernel.status import RunResult, RunStatus
+from repro.kernel.syscalls import Kernel
+from repro.mem.cache import Cache
+from repro.mem.paging import PageTable
+from repro.mem.physmem import PhysicalMemory
+from repro.mem.sram import InjectableArray
+from repro.mem.tlb import TLB
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.cpu.core import OutOfOrderCore
+
+#: Stable component names used across injection, analysis and reporting.
+COMPONENT_NAMES = ("l1d", "l1i", "l2", "regfile", "dtlb", "itlb")
+
+
+class System:
+    """One simulated machine instance."""
+
+    def __init__(self, cfg: CoreConfig = DEFAULT_CONFIG) -> None:
+        self.cfg = cfg
+        layout = cfg.layout
+        self.mem = PhysicalMemory(layout.phys_size, cfg.mem_latency)
+        self.l2 = Cache(
+            "l2", cfg.l2_size, cfg.l2_assoc, cfg.line_size,
+            cfg.l2_latency, self.mem,
+        )
+        self.l1i = Cache(
+            "l1i", cfg.l1i_size, cfg.l1i_assoc, cfg.line_size,
+            cfg.l1i_latency, self.l2,
+        )
+        self.l1d = Cache(
+            "l1d", cfg.l1d_size, cfg.l1d_assoc, cfg.line_size,
+            cfg.l1d_latency, self.l2,
+        )
+        self.page_table = PageTable(cfg.tlb_walk_latency)
+        self.itlb = TLB("itlb", self.page_table, cfg.tlb_entries)
+        self.dtlb = TLB("dtlb", self.page_table, cfg.tlb_entries)
+        self.kernel = Kernel()
+        self.core = OutOfOrderCore(
+            cfg, self.l1i, self.l1d, self.itlb, self.dtlb, self.kernel
+        )
+        self.process: LoadedProcess | None = None
+
+    def load(self, program: Program) -> LoadedProcess:
+        """Load *program* and point the core at its entry."""
+        self.process = load_program(
+            program, self.mem, self.page_table, self.cfg.layout
+        )
+        self.core.reset(self.process.entry_pc, self.process.initial_sp)
+        return self.process
+
+    def injectable_targets(self) -> dict[str, InjectableArray]:
+        """The six fault-injection targets of the paper, by component name."""
+        return {
+            "l1d": self.l1d,
+            "l1i": self.l1i,
+            "l2": self.l2,
+            "regfile": self.core.prf,
+            "dtlb": self.dtlb,
+            "itlb": self.itlb,
+        }
+
+    def step(self) -> None:
+        self.core.step()
+
+    @property
+    def cycle(self) -> int:
+        return self.core.cycle
+
+    @property
+    def finished(self) -> bool:
+        return self.core.result is not None
+
+    def run(self, max_cycles: int) -> RunResult:
+        """Run to termination, converting simulator assertions to results."""
+        try:
+            return self.core.run(max_cycles)
+        except SimAssertion as exc:
+            result = RunResult(
+                status=RunStatus.SIM_ASSERT,
+                cycles=self.core.cycle,
+                instructions=self.core.stats.committed,
+                output=bytes(self.kernel.output),
+                detail=str(exc),
+                stats=self.core.stats.as_dict(),
+            )
+            self.core.result = result
+            return result
+
+    def run_until(self, target_cycle: int, max_cycles: int) -> bool:
+        """Advance to *target_cycle* (or termination).
+
+        Returns True when the target cycle was reached with the program
+        still running — i.e. an injection at this point is meaningful.
+        """
+        try:
+            while self.core.result is None and self.core.cycle < target_cycle:
+                if self.core.cycle >= max_cycles:
+                    return False
+                self.core.step()
+        except SimAssertion as exc:
+            self.core.result = RunResult(
+                status=RunStatus.SIM_ASSERT,
+                cycles=self.core.cycle,
+                instructions=self.core.stats.committed,
+                output=bytes(self.kernel.output),
+                detail=str(exc),
+                stats=self.core.stats.as_dict(),
+            )
+            return False
+        return self.core.result is None
+
+
+def run_program(
+    program: Program,
+    cfg: CoreConfig = DEFAULT_CONFIG,
+    max_cycles: int = 5_000_000,
+) -> RunResult:
+    """Convenience one-shot: load and run *program* on a fresh system."""
+    system = System(cfg)
+    system.load(program)
+    return system.run(max_cycles)

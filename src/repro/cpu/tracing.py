@@ -1,0 +1,105 @@
+"""Commit tracing: observe architectural execution instruction by instruction.
+
+A :class:`CommitTracer` hooks a core and records every committed
+instruction (pc, disassembly, destination value).  Two main uses:
+
+* **debugging fault propagation** — diff a faulty run's trace against the
+  golden trace to find the first architecturally visible divergence;
+* **workload characterisation** — instruction-mix histograms for the
+  Table III workloads.
+
+Tracing wraps the core's commit stage non-invasively (no core changes, no
+cost when not attached).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.isa.disasm import disassemble
+from repro.cpu.core import OutOfOrderCore
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed instruction."""
+
+    index: int          # commit order
+    cycle: int
+    pc: int
+    raw: int
+    asm: str
+    dest: str | None    # architectural register name, if any
+    value: int | None   # value written, if any
+
+    def format(self) -> str:
+        dest = f"  {self.dest}=0x{self.value:08x}" if self.dest else ""
+        return f"{self.index:>7} c{self.cycle:>8} 0x{self.pc:08x} {self.asm}{dest}"
+
+
+class CommitTracer:
+    """Records committed instructions from a core."""
+
+    def __init__(self, core: OutOfOrderCore, limit: int = 1_000_000) -> None:
+        self.core = core
+        self.limit = limit
+        self.records: list[CommitRecord] = []
+        self._original_commit = core._commit
+        core._commit = self._traced_commit  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        self.core._commit = self._original_commit  # type: ignore[method-assign]
+
+    def _traced_commit(self) -> bool:
+        from repro.isa.registers import reg_name
+
+        core = self.core
+        before = core.stats.committed
+        # Snapshot the ROB head region; commit consumes from the front.
+        pending = list(core.rob)[:core.cfg.commit_width]
+        result = self._original_commit()
+        committed = core.stats.committed - before
+        for uop in pending[:committed]:
+            if len(self.records) >= self.limit:
+                break
+            dest = value = None
+            if uop.arch_dest >= 0:
+                dest = reg_name(uop.arch_dest)
+                value = core.prf.values[uop.dest] & 0xFFFFFFFF
+            self.records.append(CommitRecord(
+                index=len(self.records),
+                cycle=core.cycle,
+                pc=uop.pc,
+                raw=uop.inst.raw,
+                asm=disassemble(uop.inst, uop.pc),
+                dest=dest,
+                value=value,
+            ))
+        return result
+
+    # -- analysis -------------------------------------------------------------
+
+    def mnemonic_histogram(self) -> Counter:
+        """Instruction mix of the traced execution."""
+        return Counter(record.asm.split()[0] for record in self.records)
+
+    def first_divergence(self, other: "CommitTracer") -> int | None:
+        """Index of the first committed instruction differing from *other*.
+
+        Compares (pc, raw word, written value); None when one trace is a
+        prefix of the other (or they are identical).
+        """
+        for mine, theirs in zip(self.records, other.records):
+            if (
+                mine.pc != theirs.pc
+                or mine.raw != theirs.raw
+                or mine.value != theirs.value
+            ):
+                return mine.index
+        return None
+
+    def format_trace(self, start: int = 0, count: int = 50) -> str:
+        return "\n".join(
+            record.format() for record in self.records[start:start + count]
+        )

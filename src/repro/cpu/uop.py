@@ -1,0 +1,49 @@
+"""Micro-op: one in-flight dynamic instruction."""
+
+from __future__ import annotations
+
+from repro.isa.encoding import DecodedInst
+from repro.kernel.status import CrashReason
+
+#: uop.state values
+WAITING = 0
+ISSUED = 1
+DONE = 2
+
+
+class MicroOp:
+    """One dynamic instruction traversing the out-of-order pipeline."""
+
+    __slots__ = (
+        "seq", "pc", "inst",
+        "srcs", "dest", "old_dest", "arch_dest",
+        "state", "result",
+        "paddr", "mem_size", "store_data",
+        "pred_target", "actual_target",
+        "exception", "exc_detail",
+        "sys_args", "squashed",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: DecodedInst) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.srcs: tuple[int, ...] = ()
+        self.dest = -1
+        self.old_dest = -1
+        self.arch_dest = -1
+        self.state = WAITING
+        self.result: int | None = None
+        self.paddr: int | None = None
+        self.mem_size = inst.mem_size
+        self.store_data: int | None = None
+        self.pred_target: int | None = None
+        self.actual_target: int | None = None
+        self.exception: CrashReason | None = None
+        self.exc_detail = ""
+        self.sys_args: tuple[int, int, int] | None = None
+        self.squashed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = "ILLEGAL" if self.inst.illegal else self.inst.op.name
+        return f"<uop #{self.seq} pc=0x{self.pc:x} {name} state={self.state}>"

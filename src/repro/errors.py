@@ -1,0 +1,46 @@
+"""Exception hierarchy shared across the repro packages.
+
+Two families of errors exist in this project and must not be confused:
+
+* **Tooling errors** (:class:`AsmError`, :class:`CompileError`,
+  :class:`ConfigError`) indicate a bug in a workload program or in the way
+  the library is being driven.  They are ordinary Python exceptions.
+
+* **Simulator assertions** (:class:`SimAssertion`) correspond to the paper's
+  *Assert* fault-effect class: the simulated machine reached a state the
+  simulator itself cannot represent (e.g. a corrupted TLB entry produced a
+  physical address outside the platform memory map).  Campaign code catches
+  these and records the run as ``Assert``.
+
+Architectural exceptions experienced by the simulated program (page fault,
+illegal instruction, ...) are *not* Python exceptions; they are precise
+events handled at commit time by :mod:`repro.cpu` and surface as the
+``Crash`` fault-effect class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AsmError(ReproError):
+    """An assembly source program could not be assembled."""
+
+
+class CompileError(ReproError):
+    """A MiniC source program could not be compiled."""
+
+
+class ConfigError(ReproError):
+    """An invalid simulator or campaign configuration was supplied."""
+
+
+class SimAssertion(ReproError):
+    """The simulator hit an internal invariant violation (paper class *Assert*).
+
+    The canonical source is a fault-corrupted address translation that points
+    outside the simulated platform's physical memory map, which the paper
+    reports as the dominant Assert mechanism for TLB faults.
+    """

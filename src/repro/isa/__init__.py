@@ -1,0 +1,43 @@
+"""A compact 32-bit RISC instruction set with a concrete binary encoding.
+
+The ISA plays the role that ARMv7 plays in the paper: workloads are compiled
+to it, instruction words live in the (injectable) L1I/L2 cache data arrays,
+and a bit flip in a fetched word decodes to a *different* instruction — or to
+an illegal one that raises an undefined-instruction exception, exactly the
+mechanism behind the paper's crash-dominated L1I results.
+
+Public surface:
+
+* :mod:`repro.isa.registers` — architectural register model (r0..r15).
+* :mod:`repro.isa.opcodes` — opcode numbering and instruction formats.
+* :mod:`repro.isa.encoding` — ``encode``/``decode`` between 32-bit words and
+  :class:`~repro.isa.encoding.DecodedInst`.
+* :mod:`repro.isa.semantics` — pure integer ALU semantics shared by the CPU
+  model and the tests.
+* :mod:`repro.isa.assembler` — two-pass assembler producing a
+  :class:`~repro.isa.program.Program` image.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.encoding import DecodedInst, decode, encode
+from repro.isa.opcodes import Format, Op
+from repro.isa.program import Program
+from repro.isa.registers import FP, LR, NUM_ARCH_REGS, SP, reg_name
+
+__all__ = [
+    "FP",
+    "LR",
+    "NUM_ARCH_REGS",
+    "SP",
+    "DecodedInst",
+    "Format",
+    "Op",
+    "Program",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_program",
+    "encode",
+    "reg_name",
+]

@@ -1,0 +1,400 @@
+"""Two-pass assembler for the repro ISA.
+
+Source syntax (one statement per line; ``;`` and ``//`` start comments,
+``#`` prefixes immediate operands)::
+
+    .text
+    main:
+        MOVI r0, #5
+        LA   r1, table        ; pseudo: LUI + ORRI with a label address
+        LDR  r2, [r1, #4]
+        STR  r2, [r1]
+        ADD  r0, r0, r2
+        BNE  r0, r2, main
+        BL   helper
+        RET                   ; pseudo: JR lr
+        SYS  #1
+        HALT
+    .data
+    table:  .word 1, 2, 3, main
+    buffer: .space 64
+    flags:  .byte 1, 0, 1
+            .align 4
+
+Pseudo-instructions: ``LA rd, label`` (always two words), ``MOVW rd, #imm32``
+(one or two words depending on the value), ``MOV rd, rs`` (= ``ADDI rd, rs,
+#0``) and ``RET`` (= ``JR lr``).
+
+Pass 1 sizes every statement and assigns label addresses; pass 2 encodes.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass
+
+from repro.errors import AsmError
+from repro.isa.encoding import encode
+from repro.isa.opcodes import Op
+from repro.isa.program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, Program
+from repro.isa.registers import LR, parse_reg
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+_R_TYPE = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV,
+    "mod": Op.MOD, "and": Op.AND, "orr": Op.ORR, "eor": Op.EOR,
+    "lsl": Op.LSL, "lsr": Op.LSR, "asr": Op.ASR, "slt": Op.SLT,
+    "sltu": Op.SLTU,
+}
+_I_ALU = {
+    "addi": Op.ADDI, "andi": Op.ANDI, "orri": Op.ORRI, "eori": Op.EORI,
+    "lsli": Op.LSLI, "lsri": Op.LSRI, "asri": Op.ASRI, "slti": Op.SLTI,
+}
+_BC = {
+    "beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE,
+    "bltu": Op.BLTU, "bgeu": Op.BGEU,
+}
+_BZ = {"beqz": Op.BEQZ, "bnez": Op.BNEZ}
+_MEM = {"ldr": Op.LDR, "ldrb": Op.LDRB, "str": Op.STR, "strb": Op.STRB}
+
+
+@dataclass
+class _Stmt:
+    """One source statement after pass 1 (sized, address assigned)."""
+
+    lineno: int
+    section: str          # "text" | "data"
+    addr: int
+    mnemonic: str
+    operands: list[str]
+    size: int
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    if text.startswith("#"):
+        text = text[1:]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AsmError(f"not an integer literal: {text!r}") from None
+
+
+def _is_int(text: str) -> bool:
+    try:
+        _parse_int(text)
+        return True
+    except AsmError:
+        return False
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split an operand string on commas, keeping ``[base, #off]`` together."""
+    parts: list[str] = []
+    depth = 0
+    current = []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_mem_operand(text: str, lineno: int) -> tuple[int, int]:
+    """Parse ``[rbase]`` or ``[rbase, #off]`` to (base_reg, offset)."""
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise AsmError(f"line {lineno}: expected memory operand, got {text!r}")
+    inner = text[1:-1]
+    parts = [p.strip() for p in inner.split(",")]
+    if len(parts) == 1:
+        return parse_reg(parts[0]), 0
+    if len(parts) == 2:
+        return parse_reg(parts[0]), _parse_int(parts[1])
+    raise AsmError(f"line {lineno}: malformed memory operand {text!r}")
+
+
+class Assembler:
+    """Two-pass assembler; see the module docstring for the source syntax."""
+
+    def __init__(
+        self,
+        text_base: int = DEFAULT_TEXT_BASE,
+        data_base: int = DEFAULT_DATA_BASE,
+    ) -> None:
+        self.text_base = text_base
+        self.data_base = data_base
+
+    def assemble(self, source: str) -> Program:
+        stmts, symbols = self._pass1(source)
+        return self._pass2(stmts, symbols)
+
+    # -- pass 1 ------------------------------------------------------------
+
+    def _pass1(self, source: str) -> tuple[list[_Stmt], dict[str, int]]:
+        section = "text"
+        text_addr = self.text_base
+        data_addr = self.data_base
+        symbols: dict[str, int] = {}
+        stmts: list[_Stmt] = []
+
+        for lineno, raw_line in enumerate(source.splitlines(), start=1):
+            # ';' and '//' start comments.  '#' does not: it prefixes
+            # immediate operands.
+            line = raw_line.split(";", 1)[0].split("//", 1)[0].strip()
+            if not line:
+                continue
+
+            while line and ":" in line.split()[0]:
+                label, _, line = line.partition(":")
+                label = label.strip()
+                if not _LABEL_RE.match(label):
+                    raise AsmError(f"line {lineno}: bad label {label!r}")
+                if label in symbols:
+                    raise AsmError(f"line {lineno}: duplicate label {label!r}")
+                symbols[label] = text_addr if section == "text" else data_addr
+                line = line.strip()
+                if not line:
+                    break
+            if not line:
+                continue
+
+            fields = line.split(None, 1)
+            mnemonic = fields[0].lower()
+            rest = fields[1] if len(fields) > 1 else ""
+            operands = _split_operands(rest)
+
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+
+            addr = text_addr if section == "text" else data_addr
+            size = self._sizeof(mnemonic, operands, section, lineno)
+            if mnemonic == ".align":
+                align = _parse_int(operands[0]) if operands else 4
+                new_addr = (addr + align - 1) // align * align
+                size = new_addr - addr
+            stmts.append(_Stmt(lineno, section, addr, mnemonic, operands, size))
+            if section == "text":
+                text_addr += size
+            else:
+                data_addr += size
+
+        return stmts, symbols
+
+    def _sizeof(
+        self, mnemonic: str, operands: list[str], section: str, lineno: int
+    ) -> int:
+        if mnemonic.startswith("."):
+            if mnemonic == ".word":
+                return 4 * len(operands)
+            if mnemonic == ".byte":
+                return len(operands)
+            if mnemonic == ".space":
+                if len(operands) != 1:
+                    raise AsmError(f"line {lineno}: .space needs a size")
+                return _parse_int(operands[0])
+            if mnemonic == ".align":
+                return 0  # recomputed by the caller
+            raise AsmError(f"line {lineno}: unknown directive {mnemonic!r}")
+        if section != "text":
+            raise AsmError(
+                f"line {lineno}: instruction {mnemonic!r} outside .text"
+            )
+        if mnemonic == "la":
+            return 8
+        if mnemonic == "movw":
+            value = _parse_int(operands[1]) if len(operands) == 2 else 0
+            value &= 0xFFFFFFFF
+            signed = value - 0x100000000 if value & 0x80000000 else value
+            return 4 if -(1 << 15) <= signed < (1 << 15) else 8
+        return 4
+
+    # -- pass 2 ------------------------------------------------------------
+
+    def _pass2(self, stmts: list[_Stmt], symbols: dict[str, int]) -> Program:
+        text = bytearray()
+        data = bytearray()
+        for stmt in stmts:
+            if stmt.section == "text":
+                for word in self._encode_stmt(stmt, symbols):
+                    text += struct.pack("<I", word)
+            else:
+                data += self._encode_data(stmt, symbols)
+        return Program(
+            text=bytes(text),
+            data=bytes(data),
+            text_base=self.text_base,
+            data_base=self.data_base,
+            symbols=dict(symbols),
+        )
+
+    def _resolve(self, token: str, symbols: dict[str, int], lineno: int) -> int:
+        token = token.strip()
+        if _is_int(token):
+            return _parse_int(token)
+        if token in symbols:
+            return symbols[token]
+        raise AsmError(f"line {lineno}: undefined symbol {token!r}")
+
+    def _encode_data(self, stmt: _Stmt, symbols: dict[str, int]) -> bytes:
+        out = bytearray()
+        if stmt.mnemonic == ".word":
+            for token in stmt.operands:
+                value = self._resolve(token, symbols, stmt.lineno)
+                out += struct.pack("<I", value & 0xFFFFFFFF)
+        elif stmt.mnemonic == ".byte":
+            for token in stmt.operands:
+                out.append(_parse_int(token) & 0xFF)
+        elif stmt.mnemonic == ".space":
+            out += bytes(_parse_int(stmt.operands[0]))
+        elif stmt.mnemonic == ".align":
+            out += bytes(stmt.size)
+        else:  # pragma: no cover - pass 1 already validated directives
+            raise AsmError(f"line {stmt.lineno}: bad directive in .data")
+        if len(out) != stmt.size:
+            raise AsmError(
+                f"line {stmt.lineno}: directive size changed between passes"
+            )
+        return bytes(out)
+
+    def _encode_stmt(self, stmt: _Stmt, symbols: dict[str, int]) -> list[int]:
+        m, ops, lineno, pc = stmt.mnemonic, stmt.operands, stmt.lineno, stmt.addr
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AsmError(
+                    f"line {lineno}: {m} expects {count} operands, "
+                    f"got {len(ops)}"
+                )
+
+        if stmt.mnemonic == ".align":
+            if stmt.size % 4:
+                raise AsmError(f"line {lineno}: .align in .text must be 4-byte")
+            return [encode(Op.NOP)] * (stmt.size // 4)
+        if stmt.mnemonic == ".word":
+            # Raw words in .text: lets tests and hand-written programs plant
+            # arbitrary (e.g. deliberately illegal) instruction encodings.
+            return [
+                self._resolve(token, symbols, lineno) & 0xFFFFFFFF
+                for token in stmt.operands
+            ]
+
+        if m in _R_TYPE:
+            need(3)
+            return [encode(_R_TYPE[m], rd=parse_reg(ops[0]),
+                           rs1=parse_reg(ops[1]), rs2=parse_reg(ops[2]))]
+        if m in _I_ALU:
+            need(3)
+            return [encode(_I_ALU[m], rd=parse_reg(ops[0]),
+                           rs1=parse_reg(ops[1]), imm=_parse_int(ops[2]))]
+        if m == "movi":
+            need(2)
+            return [encode(Op.MOVI, rd=parse_reg(ops[0]),
+                           imm=_parse_int(ops[1]))]
+        if m == "lui":
+            need(2)
+            return [encode(Op.LUI, rd=parse_reg(ops[0]),
+                           imm=_parse_int(ops[1]))]
+        if m in _MEM:
+            need(2)
+            reg = parse_reg(ops[0])
+            base, off = _parse_mem_operand(ops[1], lineno)
+            return [encode(_MEM[m], rd=reg, rs1=base, imm=off)]
+        if m in _BC:
+            need(3)
+            target = self._resolve(ops[2], symbols, lineno)
+            off = self._word_offset(target, pc, lineno)
+            return [encode(_BC[m], rd=parse_reg(ops[0]),
+                           rs1=parse_reg(ops[1]), imm=off)]
+        if m in _BZ:
+            need(2)
+            target = self._resolve(ops[1], symbols, lineno)
+            off = self._word_offset(target, pc, lineno)
+            return [encode(_BZ[m], rd=parse_reg(ops[0]), imm=off)]
+        if m in ("b", "bl"):
+            need(1)
+            target = self._resolve(ops[0], symbols, lineno)
+            off = self._word_offset(target, pc, lineno, wide=True)
+            return [encode(Op.B if m == "b" else Op.BL, imm=off)]
+        if m == "jr":
+            need(1)
+            return [encode(Op.JR, rs1=parse_reg(ops[0]))]
+        if m == "jalr":
+            need(2)
+            return [encode(Op.JALR, rd=parse_reg(ops[0]),
+                           rs1=parse_reg(ops[1]))]
+        if m == "ret":
+            need(0)
+            return [encode(Op.JR, rs1=LR)]
+        if m == "mov":
+            need(2)
+            return [encode(Op.ADDI, rd=parse_reg(ops[0]),
+                           rs1=parse_reg(ops[1]), imm=0)]
+        if m == "la":
+            need(2)
+            rd = parse_reg(ops[0])
+            value = self._resolve(ops[1], symbols, lineno)
+            return self._load_imm32(rd, value)
+        if m == "movw":
+            need(2)
+            rd = parse_reg(ops[0])
+            value = _parse_int(ops[1]) & 0xFFFFFFFF
+            words = self._load_imm32(rd, value)
+            if len(words) * 4 != stmt.size:
+                raise AsmError(f"line {lineno}: movw size mismatch")
+            return words
+        if m == "sys":
+            need(1)
+            return [encode(Op.SYS, imm=_parse_int(ops[0]))]
+        if m == "nop":
+            need(0)
+            return [encode(Op.NOP)]
+        if m == "halt":
+            need(0)
+            return [encode(Op.HALT)]
+        raise AsmError(f"line {lineno}: unknown mnemonic {m!r}")
+
+    @staticmethod
+    def _load_imm32(rd: int, value: int) -> list[int]:
+        signed = value - 0x100000000 if value & 0x80000000 else value
+        if -(1 << 15) <= signed < (1 << 15):
+            return [encode(Op.MOVI, rd=rd, imm=signed)]
+        return [
+            encode(Op.LUI, rd=rd, imm=(value >> 16) & 0xFFFF),
+            encode(Op.ORRI, rd=rd, rs1=rd, imm=value & 0xFFFF),
+        ]
+
+    @staticmethod
+    def _word_offset(target: int, pc: int, lineno: int, wide: bool = False) -> int:
+        delta = target - pc
+        if delta % 4:
+            raise AsmError(f"line {lineno}: branch target not word aligned")
+        off = delta // 4
+        limit = 1 << (25 if wide else 15)
+        if not -limit <= off < limit:
+            raise AsmError(f"line {lineno}: branch target out of range")
+        return off
+
+
+def assemble(
+    source: str,
+    text_base: int = DEFAULT_TEXT_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> Program:
+    """Assemble *source* into a :class:`~repro.isa.program.Program`."""
+    return Assembler(text_base=text_base, data_base=data_base).assemble(source)

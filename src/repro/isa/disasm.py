@@ -1,0 +1,73 @@
+"""Disassembler: instruction words back to assembly text.
+
+The output round-trips through the assembler (modulo label names — branch
+targets are rendered as relative word offsets) and is used by the pipeline
+tracer and by humans debugging fault propagation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import DecodedInst, decode
+from repro.isa.opcodes import Format, Op
+from repro.isa.registers import reg_name
+
+_BC_MNEMONIC = {
+    Op.BEQ: "beq", Op.BNE: "bne", Op.BLT: "blt", Op.BGE: "bge",
+    Op.BLTU: "bltu", Op.BGEU: "bgeu",
+}
+_BZ_MNEMONIC = {Op.BEQZ: "beqz", Op.BNEZ: "bnez"}
+
+
+def _target(inst: DecodedInst, pc: int | None) -> str:
+    if pc is None:
+        return f".{inst.imm:+d}"
+    return f"0x{(pc + 4 * inst.imm) & 0xFFFFFFFF:08x}"
+
+
+def disassemble(word: int | DecodedInst, pc: int | None = None) -> str:
+    """Render one instruction word as assembly text.
+
+    With *pc* given, control-flow targets are shown as absolute addresses;
+    otherwise as relative word offsets (``.+5``).
+    """
+    inst = word if isinstance(word, DecodedInst) else decode(word)
+    if inst.illegal:
+        return f".word 0x{inst.raw:08x}  ; illegal"
+    op = inst.op
+    assert op is not None
+    name = op.name.lower()
+    rd, rs1, rs2 = reg_name(inst.rd), reg_name(inst.rs1), reg_name(inst.rs2)
+
+    if inst.fmt is Format.R:
+        return f"{name} {rd}, {rs1}, {rs2}"
+    if inst.fmt is Format.I:
+        if op in (Op.MOVI, Op.LUI):
+            return f"{name} {rd}, #{inst.imm}"
+        if inst.is_load:
+            return f"{name} {rd}, [{rs1}, #{inst.imm}]"
+        if inst.is_store:
+            return f"{name} {rd}, [{rs1}, #{inst.imm}]"
+        return f"{name} {rd}, {rs1}, #{inst.imm}"
+    if inst.fmt is Format.BC:
+        return f"{_BC_MNEMONIC[op]} {rd}, {rs1}, {_target(inst, pc)}"
+    if inst.fmt is Format.BZ:
+        return f"{_BZ_MNEMONIC[op]} {rd}, {_target(inst, pc)}"
+    if inst.fmt is Format.J:
+        return f"{name} {_target(inst, pc)}"
+    if inst.fmt is Format.R1:
+        if op is Op.JALR:
+            return f"jalr {rd}, {rs1}"
+        return f"jr {rs1}"
+    if inst.fmt is Format.SYS:
+        return f"sys #{inst.imm}"
+    return name  # NOP / HALT
+
+
+def disassemble_program(text: bytes, base: int) -> list[str]:
+    """Disassemble a .text section to ``addr: asm`` lines."""
+    lines = []
+    for offset in range(0, len(text) - len(text) % 4, 4):
+        word = int.from_bytes(text[offset:offset + 4], "little")
+        pc = base + offset
+        lines.append(f"0x{pc:08x}: {disassemble(word, pc)}")
+    return lines

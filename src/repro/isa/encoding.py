@@ -1,0 +1,217 @@
+"""Binary encoding and decoding of instruction words.
+
+Layout of a 32-bit instruction word (bit 31 = MSB)::
+
+    [31:26] opcode (6 bits)
+    [25:22] rd     (4 bits)   R / I / R1; first compare reg for BC formats
+    [21:18] rs1    (4 bits)   R / I / R1; second compare reg for BC formats
+    [17:14] rs2    (4 bits)   R format only
+    [15:0]  imm16  (signed)   I / BC / SYS formats
+    [25:0]  off26  (signed)   J format
+
+``decode`` is *total*: every 32-bit value decodes to either an architected
+instruction or an explicit illegal-instruction marker, so fault-corrupted
+instruction words always produce a well-defined (possibly trapping) result.
+Decoded instructions are immutable and cached per raw word, which makes the
+fetch path cheap and lets all pipeline stages share one object.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import (
+    COND_BRANCHES,
+    DEFAULT_LATENCY,
+    DIRECT_JUMPS,
+    FORMAT_OF,
+    INDIRECT_JUMPS,
+    LATENCY,
+    LOADS,
+    MEM_SIZE,
+    STORES,
+    Format,
+    Op,
+    is_valid_opcode,
+)
+from repro.isa.registers import LR
+
+MASK32 = 0xFFFFFFFF
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* of *value* to a Python int."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+class DecodedInst:
+    """An immutable, fully decoded instruction.
+
+    ``reads`` and ``writes`` express architectural register dataflow and are
+    what the rename stage consumes; ``imm`` is already sign-extended (and,
+    for control flow, expressed in *words* relative to the instruction's own
+    pc, matching the assembler).
+    """
+
+    __slots__ = (
+        "raw", "op", "fmt", "rd", "rs1", "rs2", "imm",
+        "reads", "writes", "illegal",
+        "is_load", "is_store", "mem_size", "is_cond_branch",
+        "is_direct_jump", "is_indirect_jump", "is_control",
+        "is_sys", "is_halt", "latency",
+    )
+
+    def __init__(self, raw: int) -> None:
+        self.raw = raw & MASK32
+        opcode = (raw >> 26) & 0x3F
+        rd = (raw >> 22) & 0xF
+        rs1 = (raw >> 18) & 0xF
+        rs2 = (raw >> 14) & 0xF
+        imm16 = _sext(raw, 16)
+        off26 = _sext(raw, 26)
+
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+
+        if not is_valid_opcode(opcode):
+            self._init_illegal()
+            return
+
+        op = Op(opcode)
+        self.op = op
+        self.fmt = FORMAT_OF[op]
+        self.illegal = False
+        self.is_load = op in LOADS
+        self.is_store = op in STORES
+        self.mem_size = MEM_SIZE.get(op, 0)
+        self.is_cond_branch = op in COND_BRANCHES
+        self.is_direct_jump = op in DIRECT_JUMPS
+        self.is_indirect_jump = op in INDIRECT_JUMPS
+        self.is_control = (
+            self.is_cond_branch or self.is_direct_jump or self.is_indirect_jump
+        )
+        self.is_sys = op is Op.SYS
+        self.is_halt = op is Op.HALT
+        self.latency = LATENCY.get(op, DEFAULT_LATENCY)
+
+        fmt = self.fmt
+        if fmt is Format.R:
+            self.imm = 0
+            self.reads = (rs1, rs2)
+            self.writes = rd
+        elif fmt is Format.I:
+            # Logical immediates and LUI are zero-extended (MIPS-style) so
+            # that 32-bit constants can be built with LUI+ORRI; arithmetic
+            # immediates and memory offsets are sign-extended.
+            if op in (Op.ANDI, Op.ORRI, Op.EORI, Op.LUI):
+                self.imm = raw & 0xFFFF
+            else:
+                self.imm = imm16
+            if op in (Op.MOVI, Op.LUI):
+                self.reads = ()
+                self.writes = rd
+            elif self.is_store:
+                self.reads = (rd, rs1)  # rd field carries the value register
+                self.writes = None
+            else:  # ALU-imm and loads
+                self.reads = (rs1,)
+                self.writes = rd
+        elif fmt is Format.BC:
+            self.imm = imm16
+            self.reads = (rd, rs1)  # the two compare registers
+            self.writes = None
+        elif fmt is Format.BZ:
+            self.imm = imm16
+            self.reads = (rd,)  # the single compare register
+            self.writes = None
+        elif fmt is Format.J:
+            self.imm = off26
+            self.reads = ()
+            self.writes = LR if op is Op.BL else None
+        elif fmt is Format.R1:
+            self.imm = 0
+            self.reads = (rs1,)
+            self.writes = rd if op is Op.JALR else None
+        elif fmt is Format.SYS:
+            self.imm = raw & 0xFFFF  # syscall numbers are unsigned
+            self.reads = (0, 1, 2)   # r0-r2 carry syscall arguments
+            self.writes = 0          # r0 carries the return value
+        else:  # Format.NONE
+            self.imm = 0
+            self.reads = ()
+            self.writes = None
+
+    def _init_illegal(self) -> None:
+        self.op = None
+        self.fmt = Format.NONE
+        self.imm = 0
+        self.reads = ()
+        self.writes = None
+        self.illegal = True
+        self.is_load = False
+        self.is_store = False
+        self.mem_size = 0
+        self.is_cond_branch = False
+        self.is_direct_jump = False
+        self.is_indirect_jump = False
+        self.is_control = False
+        self.is_sys = False
+        self.is_halt = False
+        self.latency = DEFAULT_LATENCY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.illegal:
+            return f"<illegal 0x{self.raw:08x}>"
+        return (
+            f"<{self.op.name} rd={self.rd} rs1={self.rs1} rs2={self.rs2} "
+            f"imm={self.imm}>"
+        )
+
+
+_DECODE_CACHE: dict[int, DecodedInst] = {}
+_DECODE_CACHE_LIMIT = 1 << 16
+
+
+def decode(raw: int) -> DecodedInst:
+    """Decode a 32-bit word, caching the result per distinct raw value."""
+    raw &= MASK32
+    inst = _DECODE_CACHE.get(raw)
+    if inst is None:
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        inst = DecodedInst(raw)
+        _DECODE_CACHE[raw] = inst
+    return inst
+
+
+def encode(op: Op, rd: int = 0, rs1: int = 0, rs2: int = 0, imm: int = 0) -> int:
+    """Encode an instruction to its 32-bit word.
+
+    ``imm`` is interpreted per the opcode's format (16-bit signed for I/BC,
+    26-bit signed for J, 16-bit unsigned for SYS) and range-checked.
+    """
+    for name, reg in (("rd", rd), ("rs1", rs1), ("rs2", rs2)):
+        if not 0 <= reg < 16:
+            raise ValueError(f"{name} out of range: {reg}")
+    fmt = FORMAT_OF[op]
+    word = (int(op) & 0x3F) << 26
+    if fmt is Format.R:
+        word |= (rd << 22) | (rs1 << 18) | (rs2 << 14)
+    elif fmt in (Format.I, Format.BC, Format.BZ):
+        # Accept the union of the signed and unsigned 16-bit ranges; the
+        # decoder picks the interpretation per opcode.
+        if not -(1 << 15) <= imm < (1 << 16):
+            raise ValueError(f"imm16 out of range: {imm}")
+        word |= (rd << 22) | (rs1 << 18) | (imm & 0xFFFF)
+    elif fmt is Format.J:
+        if not -(1 << 25) <= imm < (1 << 25):
+            raise ValueError(f"off26 out of range: {imm}")
+        word |= imm & 0x3FFFFFF
+    elif fmt is Format.R1:
+        word |= (rd << 22) | (rs1 << 18)
+    elif fmt is Format.SYS:
+        if not 0 <= imm < (1 << 16):
+            raise ValueError(f"syscall number out of range: {imm}")
+        word |= imm
+    # Format.NONE carries no operands.
+    return word

@@ -1,0 +1,121 @@
+"""Opcode numbering, instruction formats and static per-opcode properties.
+
+The 6-bit opcode space is deliberately sparse: opcode ``0x00`` and every
+unassigned value decode to *illegal instructions*.  Cleared memory reads as
+zero words, and single bit flips frequently land in unassigned opcode space,
+so corrupted instruction fetch realistically raises undefined-instruction
+exceptions (the paper's dominant L1I crash mechanism).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Format(enum.Enum):
+    """Bit-level layout family of an instruction word."""
+
+    R = "r"          # opcode | rd | rs1 | rs2
+    I = "i"          # opcode | rd | rs1 | imm16          (ALU-imm, LDR/STR)
+    BC = "bc"        # opcode | rs1 | rs2 | imm16         (compare-and-branch)
+    BZ = "bz"        # opcode | rs1 | imm16               (compare-zero-branch)
+    J = "j"          # opcode | off26                     (B, BL)
+    R1 = "r1"        # opcode | rd | rs1                  (JR, JALR)
+    SYS = "sys"      # opcode | imm16                     (SYS)
+    NONE = "none"    # opcode only                        (NOP, HALT)
+
+
+class Op(enum.IntEnum):
+    """Instruction opcodes (the 6-bit major opcode field)."""
+
+    # R-type ALU
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    DIV = 0x04
+    MOD = 0x05
+    AND = 0x06
+    ORR = 0x07
+    EOR = 0x08
+    LSL = 0x09
+    LSR = 0x0A
+    ASR = 0x0B
+    SLT = 0x0C
+    SLTU = 0x0D
+    # I-type ALU
+    ADDI = 0x10
+    ANDI = 0x11
+    ORRI = 0x12
+    EORI = 0x13
+    LSLI = 0x14
+    LSRI = 0x15
+    ASRI = 0x16
+    SLTI = 0x17
+    MOVI = 0x18
+    LUI = 0x19
+    # Memory
+    LDR = 0x20
+    LDRB = 0x21
+    STR = 0x22
+    STRB = 0x23
+    # Compare-and-branch (pc-relative word offsets)
+    BEQ = 0x28
+    BNE = 0x29
+    BLT = 0x2A
+    BGE = 0x2B
+    BLTU = 0x2C
+    BGEU = 0x2D
+    BEQZ = 0x2E
+    BNEZ = 0x2F
+    # Jumps
+    B = 0x30
+    BL = 0x31
+    JR = 0x32
+    JALR = 0x33
+    # System
+    SYS = 0x38
+    NOP = 0x3E
+    HALT = 0x3F
+
+
+FORMAT_OF: dict[Op, Format] = {
+    Op.ADD: Format.R, Op.SUB: Format.R, Op.MUL: Format.R, Op.DIV: Format.R,
+    Op.MOD: Format.R, Op.AND: Format.R, Op.ORR: Format.R, Op.EOR: Format.R,
+    Op.LSL: Format.R, Op.LSR: Format.R, Op.ASR: Format.R, Op.SLT: Format.R,
+    Op.SLTU: Format.R,
+    Op.ADDI: Format.I, Op.ANDI: Format.I, Op.ORRI: Format.I, Op.EORI: Format.I,
+    Op.LSLI: Format.I, Op.LSRI: Format.I, Op.ASRI: Format.I, Op.SLTI: Format.I,
+    Op.MOVI: Format.I, Op.LUI: Format.I,
+    Op.LDR: Format.I, Op.LDRB: Format.I, Op.STR: Format.I, Op.STRB: Format.I,
+    Op.BEQ: Format.BC, Op.BNE: Format.BC, Op.BLT: Format.BC, Op.BGE: Format.BC,
+    Op.BLTU: Format.BC, Op.BGEU: Format.BC,
+    Op.BEQZ: Format.BZ, Op.BNEZ: Format.BZ,
+    Op.B: Format.J, Op.BL: Format.J,
+    Op.JR: Format.R1, Op.JALR: Format.R1,
+    Op.SYS: Format.SYS, Op.NOP: Format.NONE, Op.HALT: Format.NONE,
+}
+
+#: Opcodes whose I-format immediate is *not* a source operand but an address
+#: offset, together with the memory access size in bytes.
+MEM_SIZE: dict[Op, int] = {Op.LDR: 4, Op.LDRB: 1, Op.STR: 4, Op.STRB: 1}
+
+LOADS = frozenset({Op.LDR, Op.LDRB})
+STORES = frozenset({Op.STR, Op.STRB})
+COND_BRANCHES = frozenset(
+    {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU, Op.BEQZ, Op.BNEZ}
+)
+DIRECT_JUMPS = frozenset({Op.B, Op.BL})
+INDIRECT_JUMPS = frozenset({Op.JR, Op.JALR})
+CONTROL = COND_BRANCHES | DIRECT_JUMPS | INDIRECT_JUMPS
+
+#: Execution latency in cycles per opcode family (issue-to-complete).  Cache
+#: access latency is added on top for memory operations.
+LATENCY: dict[Op, int] = {Op.MUL: 3, Op.DIV: 12, Op.MOD: 12}
+DEFAULT_LATENCY = 1
+
+_VALID = {int(op) for op in Op}
+
+
+def is_valid_opcode(value: int) -> bool:
+    """Return True when the 6-bit *value* names an architected instruction."""
+    return value in _VALID

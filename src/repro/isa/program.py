@@ -1,0 +1,34 @@
+"""Program image produced by the assembler and consumed by the loader."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default virtual placement of the two program sections.  The loader and
+#: the MiniC runtime share these; the assembler resolves label addresses
+#: against them.
+DEFAULT_TEXT_BASE = 0x0001_0000
+DEFAULT_DATA_BASE = 0x0004_0000
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: raw section bytes plus symbol information."""
+
+    text: bytes
+    data: bytes
+    text_base: int = DEFAULT_TEXT_BASE
+    data_base: int = DEFAULT_DATA_BASE
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> int:
+        """Entry point: ``_start`` if defined, else ``main``, else text base."""
+        for name in ("_start", "main"):
+            if name in self.symbols:
+                return self.symbols[name]
+        return self.text_base
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.text) // 4

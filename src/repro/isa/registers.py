@@ -1,0 +1,43 @@
+"""Architectural register model.
+
+Sixteen 32-bit general-purpose registers, ARM-style aliases:
+
+* ``r0``-``r3``   — argument / return registers (caller saved)
+* ``r4``-``r11``  — temporaries (caller saved in our MiniC ABI)
+* ``r12`` (fp)    — frame pointer (callee saved)
+* ``r13`` (sp)    — stack pointer
+* ``r14`` (lr)    — link register
+* ``r15``         — plain GPR in this ISA (NOT the program counter); the
+  compiler never allocates it, but a bit flip in a register field can name
+  it, so the microarchitecture renames all 16 registers uniformly.
+"""
+
+from __future__ import annotations
+
+NUM_ARCH_REGS = 16
+
+FP = 12
+SP = 13
+LR = 14
+
+_ALIASES = {12: "fp", 13: "sp", 14: "lr"}
+_NAME_TO_NUM = {f"r{i}": i for i in range(NUM_ARCH_REGS)}
+_NAME_TO_NUM.update({"fp": FP, "sp": SP, "lr": LR})
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical assembly name for register *num*."""
+    if not 0 <= num < NUM_ARCH_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return _ALIASES.get(num, f"r{num}")
+
+
+def parse_reg(text: str) -> int:
+    """Parse a register name (``r4``, ``sp``, ...) to its number.
+
+    Raises :class:`ValueError` for anything that is not a register name.
+    """
+    try:
+        return _NAME_TO_NUM[text.strip().lower()]
+    except KeyError:
+        raise ValueError(f"not a register name: {text!r}") from None

@@ -1,0 +1,100 @@
+"""Pure integer semantics of the ISA.
+
+All values are 32-bit unsigned Python ints (0..2**32-1); signed
+interpretation happens inside the operation.  These helpers are shared by
+the out-of-order core's execute stage and by the unit tests, so the
+architecture model and its oracle can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.opcodes import Op
+
+MASK32 = 0xFFFFFFFF
+
+
+class ArithmeticFault(Exception):
+    """Raised on division/modulo by zero; becomes a precise CPU exception."""
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit value as two's-complement signed."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_u32(value: int) -> int:
+    """Wrap an arbitrary Python int to 32 bits."""
+    return value & MASK32
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithmeticFault("division by zero")
+    sa, sb = to_signed(a), to_signed(b)
+    # C-style truncation toward zero (Python's // floors).
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return to_u32(q)
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithmeticFault("modulo by zero")
+    sa, sb = to_signed(a), to_signed(b)
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return to_u32(r)
+
+
+#: op -> f(a, b) -> 32-bit result.  For immediate forms, b is the immediate
+#: (already wrapped to 32 bits by the caller).
+ALU_OPS: dict[Op, Callable[[int, int], int]] = {
+    Op.ADD: lambda a, b: (a + b) & MASK32,
+    Op.ADDI: lambda a, b: (a + b) & MASK32,
+    Op.SUB: lambda a, b: (a - b) & MASK32,
+    Op.MUL: lambda a, b: (a * b) & MASK32,
+    Op.DIV: _div,
+    Op.MOD: _mod,
+    Op.AND: lambda a, b: a & b,
+    Op.ANDI: lambda a, b: a & b,
+    Op.ORR: lambda a, b: a | b,
+    Op.ORRI: lambda a, b: a | b,
+    Op.EOR: lambda a, b: a ^ b,
+    Op.EORI: lambda a, b: a ^ b,
+    Op.LSL: lambda a, b: (a << (b & 31)) & MASK32,
+    Op.LSLI: lambda a, b: (a << (b & 31)) & MASK32,
+    Op.LSR: lambda a, b: a >> (b & 31),
+    Op.LSRI: lambda a, b: a >> (b & 31),
+    Op.ASR: lambda a, b: (to_signed(a) >> (b & 31)) & MASK32,
+    Op.ASRI: lambda a, b: (to_signed(a) >> (b & 31)) & MASK32,
+    Op.SLT: lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    Op.SLTI: lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    Op.SLTU: lambda a, b: 1 if a < b else 0,
+}
+
+#: op -> f(a, b) -> bool, for compare-and-branch instructions.
+BRANCH_CONDS: dict[Op, Callable[[int, int], bool]] = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    Op.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+    Op.BLTU: lambda a, b: a < b,
+    Op.BGEU: lambda a, b: a >= b,
+    Op.BEQZ: lambda a, b: a == 0,
+    Op.BNEZ: lambda a, b: a != 0,
+}
+
+
+def alu(op: Op, a: int, b: int) -> int:
+    """Evaluate an ALU opcode on 32-bit operands."""
+    return ALU_OPS[op](a & MASK32, b & MASK32)
+
+
+def branch_taken(op: Op, a: int, b: int) -> bool:
+    """Evaluate a compare-and-branch condition on 32-bit operands."""
+    return BRANCH_CONDS[op](a & MASK32, b & MASK32)

@@ -1,0 +1,25 @@
+"""Minimal full-system software layer: loader, syscalls, crash semantics.
+
+The paper runs its workloads on a full system stack (gem5 full-system mode
+with an OS).  This package is the equivalent substrate: it builds a virtual
+address space with page tables, loads the program image, services syscalls
+(program output and exit), and defines the crash taxonomy — *process crash*
+(architectural exception reaches commit) versus *kernel panic* (a corrupted
+store lands in kernel-reserved physical frames).
+"""
+
+from repro.kernel.layout import MemoryLayout
+from repro.kernel.loader import LoadedProcess, load_program
+from repro.kernel.status import CrashReason, RunResult, RunStatus
+from repro.kernel.syscalls import Kernel, Syscall
+
+__all__ = [
+    "CrashReason",
+    "Kernel",
+    "LoadedProcess",
+    "MemoryLayout",
+    "RunResult",
+    "RunStatus",
+    "Syscall",
+    "load_program",
+]

@@ -1,0 +1,58 @@
+"""Run outcome types: what one simulation of one workload produced.
+
+These are *simulator* outcomes; the mapping onto the paper's five
+fault-effect classes (Masked / SDC / Crash / Timeout / Assert) happens in
+:mod:`repro.core.classify`, because SDC-vs-Masked needs the golden run's
+output for comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RunStatus(enum.Enum):
+    """Terminal state of one simulated execution."""
+
+    FINISHED = "finished"            # program called exit / halted cleanly
+    CRASH_PROCESS = "crash_process"  # architectural exception reached commit
+    CRASH_KERNEL = "crash_kernel"    # kernel panic (wild store into kernel frames)
+    TIMEOUT_DEADLOCK = "deadlock"    # commit stalled for the watchdog window
+    TIMEOUT_LIVELOCK = "livelock"    # still committing at the cycle budget
+    SIM_ASSERT = "sim_assert"        # simulator invariant violated
+
+
+class CrashReason(enum.Enum):
+    """Why a process crash (or panic) happened."""
+
+    ILLEGAL_INSTRUCTION = "illegal_instruction"
+    PAGE_FAULT = "page_fault"
+    PROT_FAULT = "prot_fault"
+    MISALIGNED = "misaligned"
+    DIV_ZERO = "div_zero"
+    BAD_SYSCALL = "bad_syscall"
+    KERNEL_PANIC = "kernel_panic"
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one finished simulation."""
+
+    status: RunStatus
+    cycles: int
+    instructions: int
+    output: bytes = b""
+    exit_code: int = 0
+    crash_reason: CrashReason | None = None
+    crash_pc: int | None = None
+    detail: str = ""
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def finished_ok(self) -> bool:
+        return self.status is RunStatus.FINISHED
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0

@@ -1,0 +1,69 @@
+"""Syscall layer and program output capture.
+
+Workloads communicate results exclusively through syscalls; the kernel
+collects the emitted bytes in an output buffer that the fault-effect
+classifier later compares byte-for-byte against the golden run (the paper's
+SDC definition: "the final output of the program that is written to an
+output file is corrupted").
+
+Output is rendered as text (hex / decimal / raw characters), so a single
+corrupted value reliably changes the byte stream.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.semantics import to_signed
+from repro.kernel.status import CrashReason
+
+
+class Syscall(enum.IntEnum):
+    """Architected syscall numbers (the SYS immediate field)."""
+
+    EXIT = 0
+    PUTW = 1   # write r0 as 8 hex digits + newline
+    PUTC = 2   # write low byte of r0 verbatim
+    PUTD = 3   # write r0 as signed decimal + newline
+
+
+class Kernel:
+    """Holds per-process OS state: the output stream and exit status."""
+
+    def __init__(self, output_limit: int = 1 << 20) -> None:
+        self.output = bytearray()
+        self.output_limit = output_limit
+        self.exit_code: int | None = None
+        self.syscall_count = 0
+
+    def do_syscall(
+        self, number: int, r0: int, r1: int, r2: int
+    ) -> tuple[int, bool, CrashReason | None]:
+        """Service a syscall.
+
+        Returns ``(return_value, program_exited, crash_reason)``.  An
+        unknown syscall number — typically the product of a corrupted
+        instruction word — is a process crash, like an unimplemented
+        syscall aborting a real process.
+        """
+        self.syscall_count += 1
+        if number == Syscall.EXIT:
+            self.exit_code = r0 & 0xFF
+            return 0, True, None
+        if number == Syscall.PUTW:
+            self._emit(f"{r0:08x}\n".encode("ascii"))
+            return 0, False, None
+        if number == Syscall.PUTC:
+            self._emit(bytes([r0 & 0xFF]))
+            return 0, False, None
+        if number == Syscall.PUTD:
+            self._emit(f"{to_signed(r0)}\n".encode("ascii"))
+            return 0, False, None
+        return 0, False, CrashReason.BAD_SYSCALL
+
+    def _emit(self, payload: bytes) -> None:
+        # A fault can redirect control into an output loop; the cap keeps a
+        # livelocked run from accumulating unbounded output before the cycle
+        # watchdog fires.
+        if len(self.output) < self.output_limit:
+            self.output += payload

@@ -1,0 +1,23 @@
+"""Memory-system substrate: physical memory, caches, paging and TLBs.
+
+Every storage structure that the paper injects faults into exposes the
+:class:`~repro.mem.sram.InjectableArray` protocol — a named bit array with a
+(rows × cols) geometry and a ``flip_bit`` operation — so the fault injector
+in :mod:`repro.core` can treat an L1 cache, a TLB and the physical register
+file uniformly.
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.paging import PageTable
+from repro.mem.physmem import PhysicalMemory
+from repro.mem.sram import InjectableArray
+from repro.mem.tlb import TLB, TLBEntryFields
+
+__all__ = [
+    "TLB",
+    "Cache",
+    "InjectableArray",
+    "PageTable",
+    "PhysicalMemory",
+    "TLBEntryFields",
+]

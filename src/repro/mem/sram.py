@@ -1,0 +1,53 @@
+"""Injectable-bit-array protocol shared by all fault-injection targets.
+
+The paper's fault generator thinks of every hardware structure as a 2-D SRAM
+array of bits: a cluster of flips is placed at a random (row, column) inside
+the array.  Each microarchitectural structure in this repo (cache data
+arrays, TLB entry arrays, the physical register file) implements this
+protocol over its own native storage, so injection never needs to know how a
+structure stores its bits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class InjectableArray(Protocol):
+    """A named 2-D bit array supporting targeted bit flips."""
+
+    @property
+    def inject_name(self) -> str:
+        """Stable component identifier (e.g. ``"l1d"``)."""
+
+    @property
+    def inject_rows(self) -> int:
+        """Number of physical rows in the array."""
+
+    @property
+    def inject_cols(self) -> int:
+        """Number of bit columns per row."""
+
+    def flip_bit(self, row: int, col: int) -> None:
+        """Invert the bit at (row, col) in the live structure."""
+
+    def read_bit(self, row: int, col: int) -> int:
+        """Return the current value (0/1) of the bit at (row, col)."""
+
+
+def total_bits(array: InjectableArray) -> int:
+    """Number of storage bits in *array* (rows × cols)."""
+    return array.inject_rows * array.inject_cols
+
+
+def flip_bits(array: InjectableArray, bits: Iterable[tuple[int, int]]) -> None:
+    """Flip every (row, col) position in *bits*, validating coordinates."""
+    rows, cols = array.inject_rows, array.inject_cols
+    for row, col in bits:
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise ValueError(
+                f"bit ({row}, {col}) outside {array.inject_name} geometry "
+                f"{rows}x{cols}"
+            )
+        array.flip_bit(row, col)

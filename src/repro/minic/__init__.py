@@ -1,0 +1,28 @@
+"""MiniC: a small C-like language compiled to the repro ISA.
+
+The paper's 15 MiBench workloads are C programs cross-compiled for ARM; our
+equivalent workloads are MiniC programs compiled by this package.  The
+language is deliberately small but expressive enough for real kernels
+(CRC, FFT, sorting, graph search, crypto):
+
+* types: ``int`` scalars (32-bit signed); global ``int``/``byte`` arrays;
+  ``int*``/``byte*`` pointer parameters (indexable, no arithmetic);
+* functions with up to four parameters, ``int`` or ``void`` return;
+* statements: declarations, assignments (scalars and array elements),
+  ``if``/``else``, ``while``, ``for``, ``break``, ``continue``, ``return``,
+  expression statements;
+* operators: ``+ - * / % & | ^ << >> < <= > >= == != && || ! - ~`` with C
+  semantics (``&&``/``||`` short-circuit, ``>>`` is arithmetic);
+* intrinsics: ``putw(x)``, ``putd(x)``, ``putc(x)`` (program output) and
+  ``exit(x)`` — these lower to SYS instructions and drive the output stream
+  that the fault classifier diffs against the golden run.
+
+The compiler pipeline is lexer → parser → semantic analysis → code
+generation to assembly text → :func:`repro.isa.assemble`.
+"""
+
+from repro.minic.codegen import compile_to_asm
+from repro.minic.driver import compile_source
+from repro.minic.parser import parse
+
+__all__ = ["compile_source", "compile_to_asm", "parse"]

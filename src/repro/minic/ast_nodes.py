@@ -1,0 +1,151 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions ------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` where base names an array or pointer."""
+
+    base: str = ""
+    index: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # '-', '!', '~'
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""          # arithmetic / comparison / logical operator text
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+COMPARISONS = {"<", "<=", ">", ">=", "==", "!="}
+LOGICAL = {"&&", "||"}
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr | None = None   # VarRef or Index
+    value: Expr | None = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr | None = None
+    then: Block | None = None
+    els: Stmt | None = None      # Block or nested IfStmt
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr | None = None
+    body: Block | None = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None = None     # DeclStmt or AssignStmt
+    cond: Expr | None = None
+    post: Stmt | None = None     # AssignStmt
+    body: Block | None = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+# -- top level -----------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    type: str                    # 'int', 'int*', 'byte*'
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    elem_type: str               # 'int' or 'byte'
+    size: int | None             # None for scalars
+    init: list[int] | None       # resolved constant initialiser
+    line: int = 0
+
+
+@dataclass
+class Func:
+    name: str
+    ret: str                     # 'int' or 'void'
+    params: list[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Module:
+    globals: list[GlobalVar] = field(default_factory=list)
+    funcs: list[Func] = field(default_factory=list)

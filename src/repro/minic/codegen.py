@@ -1,0 +1,583 @@
+"""MiniC code generation to repro assembly text.
+
+Conventions (the "MiniC ABI"):
+
+* arguments in ``r0``-``r3``, return value in ``r0``;
+* ``r4``-``r11`` are expression temporaries, caller-saved — live values are
+  spilled to the frame around calls;
+* ``sp`` (r13) is the only frame reference; each function's frame is
+  ``[param slots][local slots][16 spill slots][saved lr]``;
+* every local and parameter lives in a stack slot (loaded/stored at each
+  use) — unoptimised, like ``-O0`` C, which keeps dataflow through the
+  injectable L1D and register file rich.
+
+Expression evaluation keeps a compile-time *value stack* whose entries live
+in temp registers until register pressure (or a function call) forces them
+into spill slots.  The invariant: no raw register is ever held across the
+generation of a sub-expression — everything live is on the value stack, so
+call-site spilling can always rescue it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.minic.ast_nodes import (
+    AssignStmt, Binary, Block, BreakStmt, Call, ContinueStmt, DeclStmt,
+    Expr, ExprStmt, ForStmt, Func, GlobalVar, IfStmt, Index, IntLit,
+    Module, ReturnStmt, Stmt, Unary, VarRef, WhileStmt,
+)
+from repro.minic.parser import parse
+from repro.minic.sema import INTRINSICS, FuncScope, ModuleInfo, analyse
+
+TEMP_REGS = ["r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"]
+NUM_SPILL_SLOTS = 16
+
+_SYSCALL_OF = {"exit": 0, "putw": 1, "putc": 2, "putd": 3}
+
+#: comparison -> (mnemonic, swap operands) when branching on TRUE.
+_BRANCH_TRUE = {
+    "<": ("blt", False), ">": ("blt", True),
+    "<=": ("bge", True), ">=": ("bge", False),
+    "==": ("beq", False), "!=": ("bne", False),
+}
+#: comparison -> (mnemonic, swap operands) when branching on FALSE.
+_BRANCH_FALSE = {
+    "<": ("bge", False), ">": ("bge", True),
+    "<=": ("blt", True), ">=": ("blt", False),
+    "==": ("bne", False), "!=": ("beq", False),
+}
+
+_ALU_MNEMONIC = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "orr", "^": "eor", "<<": "lsl", ">>": "asr",
+}
+
+
+class _Labels:
+    """Module-wide unique label factory."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def new(self, hint: str) -> str:
+        self._counter += 1
+        return f"L{self._counter}_{hint}"
+
+
+class _FuncGen:
+    """Code generation state for one function body."""
+
+    def __init__(self, func: Func, info: ModuleInfo, labels: _Labels) -> None:
+        self.func = func
+        self.info = info
+        self.labels = labels
+        self.lines: list[str] = []
+        self.scope: FuncScope = info.scopes[func.name]
+
+        slot_names = self.scope.slot_names()
+        self.slot_of = {name: i * 4 for i, name in enumerate(slot_names)}
+        self._spill_base = 4 * len(slot_names)
+        self.frame_size = self._spill_base + 4 * NUM_SPILL_SLOTS + 4
+        if self.frame_size % 8:
+            self.frame_size += 4
+
+        self.free_regs = list(TEMP_REGS)
+        self.free_spills = list(range(NUM_SPILL_SLOTS))
+        # Value stack entries: ("reg", name) or ("spill", index); oldest first.
+        self.vstack: list[tuple[str, object]] = []
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break) labels
+        self.epilogue = labels.new(f"epi_{func.name}")
+
+    # -- emission helpers ------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    # -- register/value-stack management -----------------------------------------
+
+    def _alloc_reg(self) -> str:
+        """Claim a free temp register, spilling the oldest live value if needed."""
+        if self.free_regs:
+            return self.free_regs.pop()
+        for pos, (kind, payload) in enumerate(self.vstack):
+            if kind == "reg":
+                slot = self._alloc_spill()
+                self.emit(f"STR {payload}, [sp, #{self._spill_off(slot)}]")
+                self.vstack[pos] = ("spill", slot)
+                return str(payload)
+        raise CompileError(
+            f"{self.func.name}: expression too complex (register pressure)"
+        )
+
+    def _free_reg(self, reg: str) -> None:
+        self.free_regs.append(reg)
+
+    def _alloc_spill(self) -> int:
+        if not self.free_spills:
+            raise CompileError(
+                f"{self.func.name}: expression too complex (spill pressure)"
+            )
+        return self.free_spills.pop()
+
+    def _spill_off(self, slot: int) -> int:
+        return self._spill_base + 4 * slot
+
+    def _push_reg(self, reg: str) -> None:
+        self.vstack.append(("reg", reg))
+
+    def _pop_to_reg(self) -> str:
+        """Pop the top value into a register owned by the caller."""
+        kind, payload = self.vstack.pop()
+        if kind == "reg":
+            return str(payload)
+        slot = int(payload)  # type: ignore[arg-type]
+        reg = self._alloc_reg()
+        self.emit(f"LDR {reg}, [sp, #{self._spill_off(slot)}]")
+        self.free_spills.append(slot)
+        return reg
+
+    def _spill_all(self) -> None:
+        """Force every live value into its spill slot (around calls)."""
+        for pos, (kind, payload) in enumerate(self.vstack):
+            if kind == "reg":
+                slot = self._alloc_spill()
+                self.emit(f"STR {payload}, [sp, #{self._spill_off(slot)}]")
+                self._free_reg(str(payload))
+                self.vstack[pos] = ("spill", slot)
+
+    # -- function skeleton -----------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        self.label(self.func.name)
+        self.emit(f"ADDI sp, sp, #-{self.frame_size}")
+        self.emit(f"STR lr, [sp, #{self.frame_size - 4}]")
+        for i, param in enumerate(self.func.params):
+            self.emit(f"STR r{i}, [sp, #{self.slot_of[param.name]}]")
+        self.gen_block(self.func.body)
+        self.label(self.epilogue)
+        self.emit(f"LDR lr, [sp, #{self.frame_size - 4}]")
+        self.emit(f"ADDI sp, sp, #{self.frame_size}")
+        self.emit("RET")
+        return self.lines
+
+    # -- statements ----------------------------------------------------------------------
+
+    def gen_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                self.gen_expr(stmt.init)
+                reg = self._pop_to_reg()
+                self.emit(f"STR {reg}, [sp, #{self.slot_of[stmt.name]}]")
+                self._free_reg(reg)
+        elif isinstance(stmt, AssignStmt):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, IfStmt):
+            self._gen_if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                self.gen_expr(stmt.value)
+                reg = self._pop_to_reg()
+                self.emit(f"MOV r0, {reg}")
+                self._free_reg(reg)
+            self.emit(f"B {self.epilogue}")
+        elif isinstance(stmt, BreakStmt):
+            self.emit(f"B {self.loop_stack[-1][1]}")
+        elif isinstance(stmt, ContinueStmt):
+            self.emit(f"B {self.loop_stack[-1][0]}")
+        elif isinstance(stmt, ExprStmt):
+            assert stmt.expr is not None
+            if isinstance(stmt.expr, Call):
+                pushed = self._gen_call(stmt.expr, want_value=False)
+                if pushed:
+                    self._free_reg(self._pop_to_reg())
+            else:
+                self.gen_expr(stmt.expr)
+                self._free_reg(self._pop_to_reg())
+        else:  # pragma: no cover - sema rejects anything else
+            raise CompileError(f"line {stmt.line}: unhandled statement")
+
+    def _gen_assign(self, stmt: AssignStmt) -> None:
+        target = stmt.target
+        assert stmt.value is not None
+        if isinstance(target, VarRef):
+            name = target.name
+            if name in self.slot_of:
+                self.gen_expr(stmt.value)
+                reg = self._pop_to_reg()
+                self.emit(f"STR {reg}, [sp, #{self.slot_of[name]}]")
+                self._free_reg(reg)
+            else:  # global scalar
+                self.gen_expr(stmt.value)
+                value = self._pop_to_reg()
+                addr = self._alloc_reg()
+                self.emit(f"LA {addr}, {name}")
+                self.emit(f"STR {value}, [{addr}]")
+                self._free_reg(addr)
+                self._free_reg(value)
+            return
+        assert isinstance(target, Index)
+        byte_elem = self._push_element_addr(target)
+        self.gen_expr(stmt.value)
+        value = self._pop_to_reg()
+        addr = self._pop_to_reg()
+        self.emit(f"{'STRB' if byte_elem else 'STR'} {value}, [{addr}]")
+        self._free_reg(addr)
+        self._free_reg(value)
+
+    def _gen_if(self, stmt: IfStmt) -> None:
+        assert stmt.cond is not None and stmt.then is not None
+        if stmt.els is None:
+            end = self.labels.new("endif")
+            self.gen_branch(stmt.cond, end, branch_if=False)
+            self.gen_block(stmt.then)
+            self.label(end)
+            return
+        other = self.labels.new("else")
+        end = self.labels.new("endif")
+        self.gen_branch(stmt.cond, other, branch_if=False)
+        self.gen_block(stmt.then)
+        self.emit(f"B {end}")
+        self.label(other)
+        if isinstance(stmt.els, Block):
+            self.gen_block(stmt.els)
+        else:
+            self.gen_stmt(stmt.els)
+        self.label(end)
+
+    def _gen_while(self, stmt: WhileStmt) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        cond = self.labels.new("wcond")
+        body = self.labels.new("wbody")
+        end = self.labels.new("wend")
+        self.emit(f"B {cond}")
+        self.label(body)
+        self.loop_stack.append((cond, end))
+        self.gen_block(stmt.body)
+        self.loop_stack.pop()
+        self.label(cond)
+        self.gen_branch(stmt.cond, body, branch_if=True)
+        self.label(end)
+
+    def _gen_for(self, stmt: ForStmt) -> None:
+        assert stmt.body is not None
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        cond = self.labels.new("fcond")
+        body = self.labels.new("fbody")
+        cont = self.labels.new("fcont")
+        end = self.labels.new("fend")
+        self.emit(f"B {cond}")
+        self.label(body)
+        self.loop_stack.append((cont, end))
+        self.gen_block(stmt.body)
+        self.loop_stack.pop()
+        self.label(cont)
+        if stmt.post is not None:
+            self.gen_stmt(stmt.post)
+        self.label(cond)
+        if stmt.cond is None:
+            self.emit(f"B {body}")
+        else:
+            self.gen_branch(stmt.cond, body, branch_if=True)
+        self.label(end)
+
+    # -- conditions ---------------------------------------------------------------------
+
+    def gen_branch(self, expr: Expr, target: str, branch_if: bool) -> None:
+        """Emit a branch to *target* taken iff bool(expr) == branch_if."""
+        if isinstance(expr, IntLit):
+            if bool(expr.value) == branch_if:
+                self.emit(f"B {target}")
+            return
+        if isinstance(expr, Unary) and expr.op == "!":
+            assert expr.operand is not None
+            self.gen_branch(expr.operand, target, not branch_if)
+            return
+        if isinstance(expr, Binary) and expr.op in _BRANCH_TRUE:
+            table = _BRANCH_TRUE if branch_if else _BRANCH_FALSE
+            mnemonic, swap = table[expr.op]
+            assert expr.lhs is not None and expr.rhs is not None
+            self.gen_expr(expr.lhs)
+            self.gen_expr(expr.rhs)
+            rhs = self._pop_to_reg()
+            lhs = self._pop_to_reg()
+            a, b = (rhs, lhs) if swap else (lhs, rhs)
+            self.emit(f"{mnemonic.upper()} {a}, {b}, {target}")
+            self._free_reg(lhs)
+            self._free_reg(rhs)
+            return
+        if isinstance(expr, Binary) and expr.op == "&&":
+            assert expr.lhs is not None and expr.rhs is not None
+            if branch_if:
+                skip = self.labels.new("and")
+                self.gen_branch(expr.lhs, skip, branch_if=False)
+                self.gen_branch(expr.rhs, target, branch_if=True)
+                self.label(skip)
+            else:
+                self.gen_branch(expr.lhs, target, branch_if=False)
+                self.gen_branch(expr.rhs, target, branch_if=False)
+            return
+        if isinstance(expr, Binary) and expr.op == "||":
+            assert expr.lhs is not None and expr.rhs is not None
+            if branch_if:
+                self.gen_branch(expr.lhs, target, branch_if=True)
+                self.gen_branch(expr.rhs, target, branch_if=True)
+            else:
+                skip = self.labels.new("or")
+                self.gen_branch(expr.lhs, skip, branch_if=True)
+                self.gen_branch(expr.rhs, target, branch_if=False)
+                self.label(skip)
+            return
+        self.gen_expr(expr)
+        reg = self._pop_to_reg()
+        self.emit(f"{'BNEZ' if branch_if else 'BEQZ'} {reg}, {target}")
+        self._free_reg(reg)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def gen_expr(self, expr: Expr) -> None:
+        """Generate code leaving the expression value on the value stack."""
+        if isinstance(expr, IntLit):
+            reg = self._alloc_reg()
+            self.emit(f"MOVW {reg}, #{expr.value & 0xFFFFFFFF}")
+            self._push_reg(reg)
+        elif isinstance(expr, VarRef):
+            self._gen_varref(expr)
+        elif isinstance(expr, Index):
+            byte_elem = self._push_element_addr(expr)
+            addr = self._pop_to_reg()
+            self.emit(f"{'LDRB' if byte_elem else 'LDR'} {addr}, [{addr}]")
+            self._push_reg(addr)
+        elif isinstance(expr, Call):
+            self._gen_call(expr, want_value=True)
+        elif isinstance(expr, Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, Binary):
+            self._gen_binary(expr)
+        else:  # pragma: no cover - sema rejects anything else
+            raise CompileError(f"line {expr.line}: unhandled expression")
+
+    def _gen_varref(self, expr: VarRef) -> None:
+        name = expr.name
+        reg = self._alloc_reg()
+        if name in self.slot_of:
+            self.emit(f"LDR {reg}, [sp, #{self.slot_of[name]}]")
+        else:  # global scalar
+            self.emit(f"LA {reg}, {name}")
+            self.emit(f"LDR {reg}, [{reg}]")
+        self._push_reg(reg)
+
+    def _push_element_addr(self, expr: Index) -> bool:
+        """Push the address of ``base[index]``; True when byte-sized."""
+        base = expr.base
+        kind = self._base_kind(base)
+        reg = self._alloc_reg()
+        if kind in ("array", "bytearray"):
+            self.emit(f"LA {reg}, {base}")
+        else:  # pointer parameter: the address lives in its slot
+            self.emit(f"LDR {reg}, [sp, #{self.slot_of[base]}]")
+        self._push_reg(reg)
+        assert expr.index is not None
+        self.gen_expr(expr.index)
+        idx = self._pop_to_reg()
+        base_reg = self._pop_to_reg()
+        byte_elem = kind in ("bytearray", "bytepointer")
+        if not byte_elem:
+            self.emit(f"LSLI {idx}, {idx}, #2")
+        self.emit(f"ADD {base_reg}, {base_reg}, {idx}")
+        self._free_reg(idx)
+        self._push_reg(base_reg)
+        return byte_elem
+
+    def _base_kind(self, name: str) -> str:
+        if name in self.scope.params:
+            ptype = self.scope.params[name]
+            return "pointer" if ptype == "int*" else "bytepointer"
+        gvar = self.info.globals.get(name)
+        assert isinstance(gvar, GlobalVar)
+        return "array" if gvar.elem_type == "int" else "bytearray"
+
+    def _gen_unary(self, expr: Unary) -> None:
+        assert expr.operand is not None
+        if expr.op == "!":
+            self._materialize_bool(expr)
+            return
+        self.gen_expr(expr.operand)
+        reg = self._pop_to_reg()
+        tmp = self._alloc_reg()
+        if expr.op == "-":
+            self.emit(f"MOVI {tmp}, #0")
+            self.emit(f"SUB {reg}, {tmp}, {reg}")
+        else:  # '~'
+            self.emit(f"MOVI {tmp}, #-1")
+            self.emit(f"EOR {reg}, {reg}, {tmp}")
+        self._free_reg(tmp)
+        self._push_reg(reg)
+
+    def _gen_binary(self, expr: Binary) -> None:
+        op = expr.op
+        assert expr.lhs is not None and expr.rhs is not None
+        if op in ("&&", "||", "==", "!="):
+            self._materialize_bool(expr)
+            return
+        if op in ("<", ">", "<=", ">="):
+            self.gen_expr(expr.lhs)
+            self.gen_expr(expr.rhs)
+            rhs = self._pop_to_reg()
+            lhs = self._pop_to_reg()
+            if op == "<":
+                self.emit(f"SLT {lhs}, {lhs}, {rhs}")
+            elif op == ">":
+                self.emit(f"SLT {lhs}, {rhs}, {lhs}")
+            elif op == "<=":
+                self.emit(f"SLT {lhs}, {rhs}, {lhs}")
+                self.emit(f"EORI {lhs}, {lhs}, #1")
+            else:  # '>='
+                self.emit(f"SLT {lhs}, {lhs}, {rhs}")
+                self.emit(f"EORI {lhs}, {lhs}, #1")
+            self._free_reg(rhs)
+            self._push_reg(lhs)
+            return
+        # Plain ALU operator, with an immediate fast path.
+        mnemonic = _ALU_MNEMONIC[op]
+        if (
+            isinstance(expr.rhs, IntLit)
+            and -(1 << 15) <= expr.rhs.value < (1 << 15)
+            and op in ("+", "-", "&", "|", "^", "<<", ">>")
+        ):
+            self.gen_expr(expr.lhs)
+            lhs = self._pop_to_reg()
+            value = expr.rhs.value
+            if op == "-":
+                self.emit(f"ADDI {lhs}, {lhs}, #{-value}")
+            elif op in ("&", "|", "^") and value < 0:
+                # Logical immediates are zero-extended; fall back to a reg.
+                tmp = self._alloc_reg()
+                self.emit(f"MOVW {tmp}, #{value & 0xFFFFFFFF}")
+                self.emit(f"{mnemonic.upper()} {lhs}, {lhs}, {tmp}")
+                self._free_reg(tmp)
+            else:
+                imm_mnemonic = {
+                    "+": "ADDI", "&": "ANDI", "|": "ORRI", "^": "EORI",
+                    "<<": "LSLI", ">>": "ASRI",
+                }[op]
+                self.emit(f"{imm_mnemonic} {lhs}, {lhs}, #{value}")
+            self._push_reg(lhs)
+            return
+        self.gen_expr(expr.lhs)
+        self.gen_expr(expr.rhs)
+        rhs = self._pop_to_reg()
+        lhs = self._pop_to_reg()
+        self.emit(f"{mnemonic.upper()} {lhs}, {lhs}, {rhs}")
+        self._free_reg(rhs)
+        self._push_reg(lhs)
+
+    def _materialize_bool(self, expr: Expr) -> None:
+        """Evaluate a logical expression to 0/1 via the branch network."""
+        true_label = self.labels.new("btrue")
+        end_label = self.labels.new("bend")
+        self.gen_branch(expr, true_label, branch_if=True)
+        reg = self._alloc_reg()
+        self.emit(f"MOVI {reg}, #0")
+        self.emit(f"B {end_label}")
+        self.label(true_label)
+        self.emit(f"MOVI {reg}, #1")
+        self.label(end_label)
+        self._push_reg(reg)
+
+    # -- calls ----------------------------------------------------------------------------
+
+    def _gen_call(self, call: Call, want_value: bool) -> bool:
+        """Generate a call; returns True when a value was pushed."""
+        if call.name in INTRINSICS:
+            self.gen_expr(call.args[0])
+            reg = self._pop_to_reg()
+            self.emit(f"MOV r0, {reg}")
+            self._free_reg(reg)
+            self.emit(f"SYS #{_SYSCALL_OF[call.name]}")
+            return False
+        func = self.info.funcs[call.name]
+        assert isinstance(func, Func)
+        self._spill_all()
+        for arg, param in zip(call.args, func.params):
+            if param.type in ("int*", "byte*"):
+                assert isinstance(arg, VarRef)
+                reg = self._alloc_reg()
+                if arg.name in self.slot_of:  # pointer param passthrough
+                    self.emit(f"LDR {reg}, [sp, #{self.slot_of[arg.name]}]")
+                else:  # global array decays to its address
+                    self.emit(f"LA {reg}, {arg.name}")
+                self._push_reg(reg)
+            else:
+                self.gen_expr(arg)
+        self._spill_all()
+        nargs = len(call.args)
+        for i in range(nargs):
+            kind, payload = self.vstack[-nargs + i]
+            assert kind == "spill"
+            self.emit(f"LDR r{i}, [sp, #{self._spill_off(int(payload))}]")
+        for _ in range(nargs):
+            kind, payload = self.vstack.pop()
+            self.free_spills.append(int(payload))
+        self.emit(f"BL {call.name}")
+        if want_value and func.ret == "int":
+            reg = self._alloc_reg()
+            self.emit(f"MOV {reg}, r0")
+            self._push_reg(reg)
+            return True
+        return False
+
+
+def _emit_globals(module: Module) -> list[str]:
+    lines = [".data"]
+    for gvar in module.globals:
+        init = gvar.init or []
+        if gvar.elem_type == "int":
+            size = gvar.size or 1
+            words = ", ".join(str(v & 0xFFFFFFFF) for v in init)
+            if words:
+                lines.append(f"{gvar.name}: .word {words}")
+                remaining = size - len(init)
+                if remaining > 0:
+                    lines.append(f"    .space {4 * remaining}")
+            else:
+                lines.append(f"{gvar.name}: .space {4 * size}")
+        else:  # byte array
+            assert gvar.size is not None
+            data = ", ".join(str(v & 0xFF) for v in init)
+            if data:
+                lines.append(f"{gvar.name}: .byte {data}")
+                remaining = gvar.size - len(init)
+                if remaining > 0:
+                    lines.append(f"    .space {remaining}")
+            else:
+                lines.append(f"{gvar.name}: .space {gvar.size}")
+            lines.append("    .align 4")
+    return lines
+
+
+def compile_module(module: Module) -> str:
+    """Generate assembly text for a parsed + analysed module."""
+    info = analyse(module)
+    labels = _Labels()
+    lines = [".text", "_start:", "    BL main", "    SYS #0"]
+    for func in module.funcs:
+        lines.extend(_FuncGen(func, info, labels).generate())
+    lines.extend(_emit_globals(module))
+    return "\n".join(lines) + "\n"
+
+
+def compile_to_asm(source: str) -> str:
+    """Compile MiniC *source* to assembly text."""
+    return compile_module(parse(source))

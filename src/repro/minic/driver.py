@@ -1,0 +1,16 @@
+"""MiniC driver: source text → assembled Program."""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, Program
+from repro.minic.codegen import compile_to_asm
+
+
+def compile_source(
+    source: str,
+    text_base: int = DEFAULT_TEXT_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> Program:
+    """Compile MiniC *source* all the way to a loadable Program image."""
+    return assemble(compile_to_asm(source), text_base, data_base)

@@ -1,0 +1,110 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "byte", "void", "if", "else", "while", "for",
+    "return", "break", "continue",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'int', 'ident', 'kw' or the operator text."""
+
+    kind: str
+    text: str
+    value: int
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind!r}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert MiniC source text to a token list (EOF token excluded)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("int", source[i:j], value, line))
+            i = j
+            continue
+        if ch == "'":
+            # Character literal: 'a', '\n', '\0', '\\', '\''.
+            j = i + 1
+            if j < n and source[j] == "\\":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                if j + 1 >= n or source[j + 1] not in escapes:
+                    raise CompileError(f"line {line}: bad escape")
+                value = escapes[source[j + 1]]
+                j += 2
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise CompileError(f"line {line}: unterminated char literal")
+            if j >= n or source[j] != "'":
+                raise CompileError(f"line {line}: unterminated char literal")
+            tokens.append(Token("int", source[i:j + 1], value, line))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, 0, line))
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, 0, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"line {line}: unexpected character {ch!r}")
+    return tokens

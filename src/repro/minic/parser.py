@@ -1,0 +1,387 @@
+"""MiniC recursive-descent parser.
+
+Grammar (EBNF, ``{}`` = repetition, ``[]`` = optional)::
+
+    module      = { global | func } ;
+    global      = ("int"|"byte") IDENT [ "[" const "]" ] [ "=" init ] ";" ;
+    init        = const | "{" const { "," const } "}" ;
+    const       = [ "-" ] INT ;
+    func        = ("int"|"void") IDENT "(" [ params ] ")" block ;
+    params      = param { "," param } ;                 (* at most 4 *)
+    param       = ("int"|"byte") [ "*" ] IDENT ;
+    block       = "{" { stmt } "}" ;
+    stmt        = "int" IDENT [ "=" expr ] ";"
+                | lvalue "=" expr ";"
+                | "if" "(" expr ")" block [ "else" (block | if-stmt) ]
+                | "while" "(" expr ")" block
+                | "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")" block
+                | "return" [ expr ] ";"
+                | "break" ";" | "continue" ";"
+                | expr ";" ;
+    simple      = "int" IDENT "=" expr | lvalue "=" expr ;
+    lvalue      = IDENT | IDENT "[" expr "]" ;
+
+Expressions use C precedence: ``||`` < ``&&`` < ``|`` < ``^`` < ``&`` <
+equality < relational < shift < additive < multiplicative < unary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.minic.ast_nodes import (
+    AssignStmt, Binary, Block, BreakStmt, Call, ContinueStmt, DeclStmt,
+    Expr, ExprStmt, ForStmt, Func, GlobalVar, IfStmt, Index, IntLit,
+    Module, Param, ReturnStmt, Stmt, Unary, VarRef, WhileStmt,
+)
+from repro.minic.lexer import Token, tokenize
+
+#: Binary operator precedence levels, loosest first.
+_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token | None:
+        idx = self._pos + ahead
+        return self._tokens[idx] if idx < len(self._tokens) else None
+
+    def _at(self, kind: str, text: str | None = None) -> bool:
+        tok = self._peek()
+        if tok is None or tok.kind != kind:
+            return False
+        return text is None or tok.text == text
+
+    def _advance(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise CompileError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise CompileError(f"expected {text or kind}, got end of input")
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise CompileError(
+                f"line {tok.line}: expected {text or kind}, got {tok.text!r}"
+            )
+        return self._advance()
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        module = Module()
+        while self._peek() is not None:
+            tok = self._peek()
+            assert tok is not None
+            if tok.kind != "kw" or tok.text not in ("int", "byte", "void"):
+                raise CompileError(
+                    f"line {tok.line}: expected declaration, got {tok.text!r}"
+                )
+            # Disambiguate: TYPE IDENT '(' is a function.
+            after = self._peek(2)
+            if after is not None and after.kind == "(" and tok.text != "byte":
+                module.funcs.append(self._parse_func())
+            else:
+                module.globals.append(self._parse_global())
+        return module
+
+    def _parse_const(self) -> int:
+        negative = False
+        if self._at("-"):
+            self._advance()
+            negative = True
+        tok = self._expect("int")
+        return -tok.value if negative else tok.value
+
+    def _parse_global(self) -> GlobalVar:
+        type_tok = self._advance()
+        elem_type = type_tok.text
+        if elem_type == "void":
+            raise CompileError(f"line {type_tok.line}: void variable")
+        name = self._expect("ident").text
+        size: int | None = None
+        if self._at("["):
+            self._advance()
+            size = self._parse_const()
+            if size <= 0:
+                raise CompileError(
+                    f"line {type_tok.line}: array size must be positive"
+                )
+            self._expect("]")
+        init: list[int] | None = None
+        if self._at("="):
+            self._advance()
+            if self._at("{"):
+                self._advance()
+                init = [self._parse_const()]
+                while self._at(","):
+                    self._advance()
+                    init.append(self._parse_const())
+                self._expect("}")
+            else:
+                init = [self._parse_const()]
+        self._expect(";")
+        if elem_type == "byte" and size is None:
+            raise CompileError(
+                f"line {type_tok.line}: byte variables must be arrays"
+            )
+        if init is not None and size is not None and len(init) > size:
+            raise CompileError(
+                f"line {type_tok.line}: too many initialisers for {name}"
+            )
+        if init is not None and size is None and len(init) != 1:
+            raise CompileError(
+                f"line {type_tok.line}: scalar {name} needs a single initialiser"
+            )
+        return GlobalVar(name, elem_type, size, init, type_tok.line)
+
+    def _parse_func(self) -> Func:
+        ret_tok = self._advance()
+        name = self._expect("ident").text
+        self._expect("(")
+        params: list[Param] = []
+        if not self._at(")"):
+            params.append(self._parse_param())
+            while self._at(","):
+                self._advance()
+                params.append(self._parse_param())
+        self._expect(")")
+        if len(params) > 4:
+            raise CompileError(
+                f"line {ret_tok.line}: {name} has more than 4 parameters"
+            )
+        body = self._parse_block()
+        return Func(name, ret_tok.text, params, body, ret_tok.line)
+
+    def _parse_param(self) -> Param:
+        type_tok = self._expect("kw")
+        if type_tok.text not in ("int", "byte"):
+            raise CompileError(f"line {type_tok.line}: bad parameter type")
+        ptr = False
+        if self._at("*"):
+            self._advance()
+            ptr = True
+        name = self._expect("ident").text
+        if type_tok.text == "byte" and not ptr:
+            raise CompileError(
+                f"line {type_tok.line}: byte parameters must be pointers"
+            )
+        ptype = type_tok.text + ("*" if ptr else "")
+        return Param(name, ptype, type_tok.line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        open_tok = self._expect("{")
+        stmts: list[Stmt] = []
+        while not self._at("}"):
+            if self._peek() is None:
+                raise CompileError(
+                    f"line {open_tok.line}: block opened here is never closed"
+                )
+            stmts.append(self._parse_stmt())
+        self._expect("}")
+        return Block(open_tok.line, stmts)
+
+    def _parse_stmt(self) -> Stmt:
+        tok = self._peek()
+        if tok is None:
+            raise CompileError("unexpected end of input in statement")
+        if tok.kind == "kw":
+            if tok.text == "int":
+                stmt = self._parse_decl()
+                self._expect(";")
+                return stmt
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "return":
+                self._advance()
+                value = None if self._at(";") else self._parse_expr()
+                self._expect(";")
+                return ReturnStmt(tok.line, value)
+            if tok.text == "break":
+                self._advance()
+                self._expect(";")
+                return BreakStmt(tok.line)
+            if tok.text == "continue":
+                self._advance()
+                self._expect(";")
+                return ContinueStmt(tok.line)
+            raise CompileError(f"line {tok.line}: unexpected {tok.text!r}")
+        stmt = self._parse_simple()
+        self._expect(";")
+        return stmt
+
+    def _parse_decl(self) -> DeclStmt:
+        tok = self._expect("kw", "int")
+        name = self._expect("ident").text
+        init = None
+        if self._at("="):
+            self._advance()
+            init = self._parse_expr()
+        return DeclStmt(tok.line, name, init)
+
+    def _parse_simple(self) -> Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        if self._at("kw", "int"):
+            return self._parse_decl()
+        tok = self._peek()
+        assert tok is not None
+        if tok.kind == "ident":
+            nxt = self._peek(1)
+            if nxt is not None and nxt.kind == "=":
+                name = self._advance().text
+                self._advance()
+                value = self._parse_expr()
+                return AssignStmt(tok.line, VarRef(tok.line, name), value)
+            if nxt is not None and nxt.kind == "[":
+                # Could be `a[i] = e` or the expression `a[i]` — scan for
+                # the matching ']' and check what follows.
+                depth = 0
+                ahead = 1
+                while True:
+                    look = self._peek(ahead)
+                    if look is None:
+                        raise CompileError(f"line {tok.line}: unbalanced '['")
+                    if look.kind == "[":
+                        depth += 1
+                    elif look.kind == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    ahead += 1
+                after = self._peek(ahead + 1)
+                if after is not None and after.kind == "=":
+                    name = self._advance().text
+                    self._advance()  # '['
+                    idx = self._parse_expr()
+                    self._expect("]")
+                    self._expect("=")
+                    value = self._parse_expr()
+                    return AssignStmt(
+                        tok.line, Index(tok.line, name, idx), value
+                    )
+        expr = self._parse_expr()
+        return ExprStmt(tok.line, expr)
+
+    def _parse_if(self) -> IfStmt:
+        tok = self._expect("kw", "if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then = self._parse_block()
+        els: Stmt | None = None
+        if self._at("kw", "else"):
+            self._advance()
+            if self._at("kw", "if"):
+                els = self._parse_if()
+            else:
+                els = self._parse_block()
+        return IfStmt(tok.line, cond, then, els)
+
+    def _parse_while(self) -> WhileStmt:
+        tok = self._expect("kw", "while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._parse_block()
+        return WhileStmt(tok.line, cond, body)
+
+    def _parse_for(self) -> ForStmt:
+        tok = self._expect("kw", "for")
+        self._expect("(")
+        init = None if self._at(";") else self._parse_simple()
+        self._expect(";")
+        cond = None if self._at(";") else self._parse_expr()
+        self._expect(";")
+        post = None if self._at(")") else self._parse_simple()
+        self._expect(")")
+        body = self._parse_block()
+        return ForStmt(tok.line, init, cond, post, body)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_LEVELS):
+            return self._parse_unary()
+        lhs = self._parse_binary(level + 1)
+        ops = _LEVELS[level]
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind not in ops:
+                return lhs
+            self._advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = Binary(tok.line, tok.text, lhs, rhs)
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        assert tok is not None
+        if tok.kind in ("-", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            if tok.kind == "-" and isinstance(operand, IntLit):
+                return IntLit(tok.line, -operand.value)
+            return Unary(tok.line, tok.kind, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        tok = self._peek()
+        assert tok is not None
+        if tok.kind == "int":
+            self._advance()
+            return IntLit(tok.line, tok.value)
+        if tok.kind == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(")")
+            return inner
+        if tok.kind == "ident":
+            name = self._advance().text
+            if self._at("("):
+                self._advance()
+                args: list[Expr] = []
+                if not self._at(")"):
+                    args.append(self._parse_expr())
+                    while self._at(","):
+                        self._advance()
+                        args.append(self._parse_expr())
+                self._expect(")")
+                return Call(tok.line, name, args)
+            if self._at("["):
+                self._advance()
+                idx = self._parse_expr()
+                self._expect("]")
+                return Index(tok.line, name, idx)
+            return VarRef(tok.line, name)
+        raise CompileError(f"line {tok.line}: unexpected {tok.text!r}")
+
+
+def parse(source: str) -> Module:
+    """Parse MiniC *source* into a :class:`~repro.minic.ast_nodes.Module`."""
+    return Parser(tokenize(source)).parse_module()

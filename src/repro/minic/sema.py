@@ -1,0 +1,303 @@
+"""MiniC semantic analysis.
+
+Resolves names, checks arity and l-values, enforces the language's
+restrictions (arrays are global, pointers come from parameters, at most four
+arguments), and collects per-function local variables for frame layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.minic.ast_nodes import (
+    AssignStmt, Binary, Block, BreakStmt, Call, ContinueStmt, DeclStmt,
+    Expr, ExprStmt, ForStmt, Func, IfStmt, Index, IntLit, Module,
+    ReturnStmt, Stmt, Unary, VarRef, WhileStmt,
+)
+
+#: Built-in functions: name -> (num args, returns value?).
+INTRINSICS = {
+    "putw": (1, False),
+    "putd": (1, False),
+    "putc": (1, False),
+    "exit": (1, False),
+}
+
+
+@dataclass
+class FuncScope:
+    """Name resolution for one function body."""
+
+    func: Func
+    params: dict[str, str] = field(default_factory=dict)   # name -> type
+    locals: list[str] = field(default_factory=list)         # declaration order
+
+    def slot_names(self) -> list[str]:
+        return list(self.params) + self.locals
+
+
+@dataclass
+class ModuleInfo:
+    """Resolved module: inputs for code generation."""
+
+    module: Module
+    globals: dict[str, object] = field(default_factory=dict)
+    funcs: dict[str, Func] = field(default_factory=dict)
+    scopes: dict[str, FuncScope] = field(default_factory=dict)
+
+
+class Sema:
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.info = ModuleInfo(module)
+
+    def run(self) -> ModuleInfo:
+        info = self.info
+        for gvar in self.module.globals:
+            if gvar.name in info.globals or gvar.name in INTRINSICS:
+                raise CompileError(
+                    f"line {gvar.line}: duplicate global {gvar.name!r}"
+                )
+            info.globals[gvar.name] = gvar
+        for func in self.module.funcs:
+            if (
+                func.name in info.funcs
+                or func.name in info.globals
+                or func.name in INTRINSICS
+            ):
+                raise CompileError(
+                    f"line {func.line}: duplicate definition {func.name!r}"
+                )
+            info.funcs[func.name] = func
+        if "main" not in info.funcs:
+            raise CompileError("program has no main() function")
+        main = info.funcs["main"]
+        if main.params:
+            raise CompileError("main() must take no parameters")
+        for func in self.module.funcs:
+            self._check_func(func)
+        return info
+
+    # -- per function -------------------------------------------------------
+
+    def _check_func(self, func: Func) -> None:
+        scope = FuncScope(func)
+        for param in func.params:
+            if param.name in scope.params:
+                raise CompileError(
+                    f"line {param.line}: duplicate parameter {param.name!r}"
+                )
+            scope.params[param.name] = param.type
+        self._collect_locals(func.body, scope)
+        self.info.scopes[func.name] = scope
+        self._check_block(func.body, scope, in_loop=False)
+
+    def _collect_locals(self, block: Block, scope: FuncScope) -> None:
+        for stmt in block.stmts:
+            if isinstance(stmt, DeclStmt):
+                if stmt.name in scope.params:
+                    raise CompileError(
+                        f"line {stmt.line}: local {stmt.name!r} shadows a "
+                        f"parameter of {scope.func.name}"
+                    )
+                # MiniC locals are function-scoped; re-declaring a name (e.g.
+                # `for (int i = ...)` in two loops) reuses the same slot.
+                if stmt.name not in scope.locals:
+                    scope.locals.append(stmt.name)
+            elif isinstance(stmt, IfStmt):
+                self._collect_locals(stmt.then, scope)
+                if isinstance(stmt.els, Block):
+                    self._collect_locals(stmt.els, scope)
+                elif isinstance(stmt.els, IfStmt):
+                    self._collect_locals(Block(stmts=[stmt.els]), scope)
+            elif isinstance(stmt, WhileStmt):
+                self._collect_locals(stmt.body, scope)
+            elif isinstance(stmt, ForStmt):
+                if isinstance(stmt.init, DeclStmt):
+                    self._collect_locals(Block(stmts=[stmt.init]), scope)
+                self._collect_locals(stmt.body, scope)
+
+    def _check_block(self, block: Block, scope: FuncScope, in_loop: bool) -> None:
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope, in_loop)
+
+    def _check_stmt(self, stmt: Stmt, scope: FuncScope, in_loop: bool) -> None:
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                self._check_value(stmt.init, scope)
+        elif isinstance(stmt, AssignStmt):
+            self._check_lvalue(stmt.target, scope)
+            self._check_value(stmt.value, scope)
+        elif isinstance(stmt, IfStmt):
+            self._check_value(stmt.cond, scope)
+            self._check_block(stmt.then, scope, in_loop)
+            if stmt.els is not None:
+                if isinstance(stmt.els, Block):
+                    self._check_block(stmt.els, scope, in_loop)
+                else:
+                    self._check_stmt(stmt.els, scope, in_loop)
+        elif isinstance(stmt, WhileStmt):
+            self._check_value(stmt.cond, scope)
+            self._check_block(stmt.body, scope, in_loop=True)
+        elif isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, scope, in_loop)
+            if stmt.cond is not None:
+                self._check_value(stmt.cond, scope)
+            if stmt.post is not None:
+                self._check_stmt(stmt.post, scope, in_loop)
+            self._check_block(stmt.body, scope, in_loop=True)
+        elif isinstance(stmt, ReturnStmt):
+            if scope.func.ret == "void" and stmt.value is not None:
+                raise CompileError(
+                    f"line {stmt.line}: void function returns a value"
+                )
+            if scope.func.ret == "int" and stmt.value is None:
+                raise CompileError(
+                    f"line {stmt.line}: int function returns nothing"
+                )
+            if stmt.value is not None:
+                self._check_value(stmt.value, scope)
+        elif isinstance(stmt, (BreakStmt, ContinueStmt)):
+            if not in_loop:
+                raise CompileError(
+                    f"line {stmt.line}: break/continue outside a loop"
+                )
+        elif isinstance(stmt, ExprStmt):
+            assert stmt.expr is not None
+            if isinstance(stmt.expr, Call):
+                self._check_call(stmt.expr, scope, value_needed=False)
+            else:
+                self._check_value(stmt.expr, scope)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"line {stmt.line}: unhandled statement")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _check_lvalue(self, expr: Expr | None, scope: FuncScope) -> None:
+        if isinstance(expr, VarRef):
+            kind = self._name_kind(expr.name, scope, expr.line)
+            if kind in ("array", "bytearray"):
+                raise CompileError(
+                    f"line {expr.line}: cannot assign to array {expr.name!r}"
+                )
+            return
+        if isinstance(expr, Index):
+            self._check_indexable(expr, scope)
+            assert expr.index is not None
+            self._check_value(expr.index, scope)
+            return
+        line = expr.line if expr is not None else 0
+        raise CompileError(f"line {line}: not an assignable l-value")
+
+    def _check_indexable(self, expr: Index, scope: FuncScope) -> None:
+        kind = self._name_kind(expr.base, scope, expr.line)
+        if kind not in ("array", "bytearray", "pointer", "bytepointer"):
+            raise CompileError(
+                f"line {expr.line}: {expr.base!r} is not indexable"
+            )
+
+    def _name_kind(self, name: str, scope: FuncScope, line: int) -> str:
+        """Classify a name: scalar / array / bytearray / pointer / bytepointer."""
+        if name in scope.params:
+            ptype = scope.params[name]
+            if ptype == "int":
+                return "scalar"
+            return "pointer" if ptype == "int*" else "bytepointer"
+        if name in scope.locals:
+            return "scalar"
+        gvar = self.info.globals.get(name)
+        if gvar is not None:
+            if gvar.size is None:
+                return "scalar"
+            return "array" if gvar.elem_type == "int" else "bytearray"
+        raise CompileError(f"line {line}: undefined name {name!r}")
+
+    def _check_value(self, expr: Expr | None, scope: FuncScope) -> None:
+        """Check an expression used for its (int) value."""
+        assert expr is not None
+        if isinstance(expr, IntLit):
+            if not -(1 << 31) <= expr.value < (1 << 32):
+                raise CompileError(
+                    f"line {expr.line}: literal out of 32-bit range"
+                )
+        elif isinstance(expr, VarRef):
+            kind = self._name_kind(expr.name, scope, expr.line)
+            if kind in ("array", "bytearray"):
+                raise CompileError(
+                    f"line {expr.line}: array {expr.name!r} used as a value "
+                    f"(arrays may only be passed as call arguments)"
+                )
+        elif isinstance(expr, Index):
+            self._check_indexable(expr, scope)
+            assert expr.index is not None
+            self._check_value(expr.index, scope)
+        elif isinstance(expr, Call):
+            self._check_call(expr, scope, value_needed=True)
+        elif isinstance(expr, Unary):
+            self._check_value(expr.operand, scope)
+        elif isinstance(expr, Binary):
+            self._check_value(expr.lhs, scope)
+            self._check_value(expr.rhs, scope)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"line {expr.line}: unhandled expression")
+
+    def _check_call(self, call: Call, scope: FuncScope, value_needed: bool) -> None:
+        if call.name in INTRINSICS:
+            arity, returns = INTRINSICS[call.name]
+            if len(call.args) != arity:
+                raise CompileError(
+                    f"line {call.line}: {call.name} takes {arity} argument(s)"
+                )
+            if value_needed and not returns:
+                raise CompileError(
+                    f"line {call.line}: {call.name} has no value"
+                )
+        else:
+            func = self.info.funcs.get(call.name)
+            if func is None:
+                raise CompileError(
+                    f"line {call.line}: undefined function {call.name!r}"
+                )
+            if len(call.args) != len(func.params):
+                raise CompileError(
+                    f"line {call.line}: {call.name} takes "
+                    f"{len(func.params)} argument(s), got {len(call.args)}"
+                )
+            if value_needed and func.ret == "void":
+                raise CompileError(
+                    f"line {call.line}: void function {call.name} used "
+                    f"as a value"
+                )
+            for arg, param in zip(call.args, func.params):
+                self._check_arg(arg, param.type, scope)
+            return
+        for arg in call.args:
+            self._check_value(arg, scope)
+
+    def _check_arg(self, arg: Expr, ptype: str, scope: FuncScope) -> None:
+        """Pointer parameters accept arrays and same-typed pointers."""
+        if ptype in ("int*", "byte*"):
+            if not isinstance(arg, VarRef):
+                raise CompileError(
+                    f"line {arg.line}: pointer argument must be an array "
+                    f"or pointer name"
+                )
+            kind = self._name_kind(arg.name, scope, arg.line)
+            wanted = (
+                ("array", "pointer") if ptype == "int*"
+                else ("bytearray", "bytepointer")
+            )
+            if kind not in wanted:
+                raise CompileError(
+                    f"line {arg.line}: {arg.name!r} does not match "
+                    f"parameter type {ptype}"
+                )
+        else:
+            self._check_value(arg, scope)
+
+
+def analyse(module: Module) -> ModuleInfo:
+    """Run semantic analysis; raises :class:`CompileError` on any violation."""
+    return Sema(module).run()

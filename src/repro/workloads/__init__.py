@@ -1,0 +1,32 @@
+"""The 15 MiBench-equivalent workloads of the paper (Table III).
+
+Each workload is a MiniC program implementing the same algorithm as its
+MiBench counterpart, with deterministic seeded inputs scaled so the golden
+simulation is 10³–10⁵ cycles (see DESIGN.md §2).  Every workload also ships
+a pure-Python *reference implementation* that computes the expected program
+output independently of the simulator — compiler, ISA, core and memory
+system are all validated against it end-to-end.
+
+Usage::
+
+    from repro.workloads import get_workload, workload_names
+    wl = get_workload("crc32")
+    program = wl.program()          # assembled, loadable image
+    wl.expected_output              # golden output bytes (from the reference)
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    WORKLOAD_BUILDERS,
+    get_workload,
+    load_all_workloads,
+    workload_names,
+)
+
+__all__ = [
+    "WORKLOAD_BUILDERS",
+    "Workload",
+    "get_workload",
+    "load_all_workloads",
+    "workload_names",
+]

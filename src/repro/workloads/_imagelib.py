@@ -1,0 +1,101 @@
+"""Shared helpers for the image workloads (jpeg + susan families).
+
+Provides seeded synthetic grayscale images with real structure (gradients,
+a bright rectangle, noise) so that edge/corner detectors and DCT compaction
+behave like they would on natural images, plus the integer 8-point DCT
+machinery shared by cjpeg/djpeg and mirrored bit-exactly by their
+references.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import asr, rng, s32
+
+DCT_SCALE_BITS = 8
+
+#: Standard JPEG luminance quantisation table (Annex K), zigzag-free layout.
+QUANT_TABLE = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+#: Zigzag scan order: position i of the scan reads block index ZIGZAG[i].
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+def dct_table() -> list[int]:
+    """8x8 integer DCT kernel: T[u*8+x] = round(2^8 * (C(u)/2) cos(..))."""
+    table = []
+    for u in range(8):
+        cu = 1 / math.sqrt(2) if u == 0 else 1.0
+        for x in range(8):
+            value = (cu / 2) * math.cos((2 * x + 1) * u * math.pi / 16)
+            table.append(round(value * (1 << DCT_SCALE_BITS)))
+    return table
+
+
+def dct_2d(block: list[int], table: list[int]) -> list[int]:
+    """Forward integer 2-D DCT, row pass then column pass (mirrors MiniC)."""
+    temp = [0] * 64
+    for y in range(8):
+        for u in range(8):
+            acc = 0
+            for x in range(8):
+                acc += table[u * 8 + x] * block[y * 8 + x]
+            temp[y * 8 + u] = s32(asr(acc, DCT_SCALE_BITS))
+    out = [0] * 64
+    for u in range(8):
+        for v in range(8):
+            acc = 0
+            for y in range(8):
+                acc += table[v * 8 + y] * temp[y * 8 + u]
+            out[v * 8 + u] = s32(asr(acc, DCT_SCALE_BITS))
+    return out
+
+
+def idct_2d(coeffs: list[int], table: list[int]) -> list[int]:
+    """Inverse integer 2-D DCT using the same kernel transposed."""
+    temp = [0] * 64
+    for u in range(8):
+        for y in range(8):
+            acc = 0
+            for v in range(8):
+                acc += table[v * 8 + y] * coeffs[v * 8 + u]
+            temp[y * 8 + u] = s32(asr(acc, DCT_SCALE_BITS))
+    out = [0] * 64
+    for y in range(8):
+        for x in range(8):
+            acc = 0
+            for u in range(8):
+                acc += table[u * 8 + x] * temp[y * 8 + u]
+            out[y * 8 + x] = s32(asr(acc, DCT_SCALE_BITS))
+    return out
+
+
+def make_image(name: str, width: int, height: int) -> list[int]:
+    """Synthetic grayscale image: gradient + bright rectangle + noise."""
+    rand = rng(f"image:{name}")
+    rx0, ry0 = width // 4, height // 4
+    rx1, ry1 = 3 * width // 4, 3 * height // 4
+    pixels = []
+    for y in range(height):
+        for x in range(width):
+            value = 40 + (150 * x) // max(1, width - 1)
+            if rx0 <= x < rx1 and ry0 <= y < ry1:
+                value = 210
+            value += rand.randrange(-12, 13)
+            pixels.append(max(0, min(255, value)))
+    return pixels

@@ -1,0 +1,161 @@
+"""ADPCM decode workload (MiBench telecomm/adpcm equivalent).
+
+IMA ADPCM decoder: 4-bit codes expand to 16-bit PCM through the standard
+step-size/index tables.  The code stream is produced by running the matching
+IMA *encoder* in the generator over a synthetic waveform, so the decoder
+exercises realistic step-size trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Output, Workload, fmt_ints, rng, s32
+
+_SAMPLES = 240  # decoded samples (2 codes per byte)
+
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+_TEMPLATE = """\
+byte codes[{nbytes}] = {{{codes}}};
+int steptab[89] = {{{steps}}};
+int indextab[16] = {{{indices}}};
+
+int main() {{
+    int valpred = 0;
+    int index = 0;
+    int checksum = 0;
+    for (int n = 0; n < {samples}; n = n + 1) {{
+        int packed = codes[n / 2];
+        int code = 0;
+        if (n % 2 == 0) {{
+            code = packed & 15;
+        }} else {{
+            code = (packed >> 4) & 15;
+        }}
+        int step = steptab[index];
+        int diff = step >> 3;
+        if (code & 4) {{
+            diff = diff + step;
+        }}
+        if (code & 2) {{
+            diff = diff + (step >> 1);
+        }}
+        if (code & 1) {{
+            diff = diff + (step >> 2);
+        }}
+        if (code & 8) {{
+            valpred = valpred - diff;
+        }} else {{
+            valpred = valpred + diff;
+        }}
+        if (valpred > 32767) {{
+            valpred = 32767;
+        }}
+        if (valpred < -32768) {{
+            valpred = -32768;
+        }}
+        index = index + indextab[code];
+        if (index < 0) {{
+            index = 0;
+        }}
+        if (index > 88) {{
+            index = 88;
+        }}
+        checksum = checksum * 13 + valpred;
+        if (n % 64 == 63) {{
+            putd(valpred);
+        }}
+    }}
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _ima_encode(samples: list[int]) -> list[int]:
+    """Standard IMA encoder producing one 4-bit code per sample."""
+    valpred, index = 0, 0
+    codes = []
+    for sample in samples:
+        step = _STEP_TABLE[index]
+        diff = sample - valpred
+        code = 0
+        if diff < 0:
+            code = 8
+            diff = -diff
+        if diff >= step:
+            code |= 4
+            diff -= step
+        if diff >= step >> 1:
+            code |= 2
+            diff -= step >> 1
+        if diff >= step >> 2:
+            code |= 1
+        codes.append(code)
+        valpred, index = _ima_decode_step(valpred, index, code)
+    return codes
+
+
+def _ima_decode_step(valpred: int, index: int, code: int) -> tuple[int, int]:
+    step = _STEP_TABLE[index]
+    diff = step >> 3
+    if code & 4:
+        diff += step
+    if code & 2:
+        diff += step >> 1
+    if code & 1:
+        diff += step >> 2
+    valpred = valpred - diff if code & 8 else valpred + diff
+    valpred = max(-32768, min(32767, valpred))
+    index = max(0, min(88, index + _INDEX_TABLE[code]))
+    return valpred, index
+
+
+def build() -> Workload:
+    rand = rng("adpcm")
+    samples = [
+        int(6000 * math.sin(i / 9.0)) + rand.randrange(-300, 300)
+        for i in range(_SAMPLES)
+    ]
+    codes = _ima_encode(samples)
+    packed = []
+    for i in range(0, len(codes), 2):
+        low = codes[i]
+        high = codes[i + 1] if i + 1 < len(codes) else 0
+        packed.append(low | (high << 4))
+
+    out = Output()
+    valpred, index, checksum = 0, 0, 0
+    for n, code in enumerate(codes):
+        valpred, index = _ima_decode_step(valpred, index, code)
+        checksum = (checksum * 13 + valpred) & 0xFFFFFFFF
+        if n % 64 == 63:
+            out.putd(s32(valpred))
+    out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        nbytes=len(packed),
+        samples=_SAMPLES,
+        codes=fmt_ints(packed),
+        steps=fmt_ints(_STEP_TABLE),
+        indices=fmt_ints(_INDEX_TABLE),
+    )
+    return Workload(
+        name="adpcm_dec",
+        paper_name="ADPCM decode",
+        paper_cycles=53_690_367,
+        description=f"IMA ADPCM decode of {_SAMPLES} samples",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,92 @@
+"""Shared workload machinery: the Workload record and reference-impl helpers.
+
+Reference implementations must mirror MiniC/ISA semantics exactly:
+32-bit wrap-around arithmetic, C-style truncating division, arithmetic
+right shift on signed values.  The helpers here encode those rules once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.minic import compile_source
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(value: int) -> int:
+    """Wrap to unsigned 32-bit."""
+    return value & MASK32
+
+
+def s32(value: int) -> int:
+    """Wrap to signed 32-bit."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def sdiv(a: int, b: int) -> int:
+    """C-style signed division (truncation toward zero)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def smod(a: int, b: int) -> int:
+    """C-style signed remainder (sign of the dividend)."""
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def asr(value: int, amount: int) -> int:
+    """Arithmetic right shift of a 32-bit value."""
+    return u32(s32(value) >> (amount & 31))
+
+
+class Output:
+    """Builds the byte stream the kernel's syscalls would produce."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def putw(self, value: int) -> None:
+        self.data += f"{u32(value):08x}\n".encode("ascii")
+
+    def putd(self, value: int) -> None:
+        self.data += f"{s32(value)}\n".encode("ascii")
+
+    def putc(self, value: int) -> None:
+        self.data.append(value & 0xFF)
+
+    def bytes(self) -> bytes:
+        return bytes(self.data)
+
+
+def rng(seed: str) -> random.Random:
+    """Deterministic per-workload random stream."""
+    return random.Random(f"repro-workload:{seed}")
+
+
+def fmt_ints(values: list[int]) -> str:
+    """Render an initialiser list for embedding into MiniC source."""
+    return ", ".join(str(v) for v in values)
+
+
+@dataclass
+class Workload:
+    """One benchmark: MiniC source plus its independently computed output."""
+
+    name: str
+    paper_name: str
+    paper_cycles: int               # Table III execution time (clock cycles)
+    description: str
+    source: str                     # MiniC program text
+    expected_output: bytes          # from the pure-Python reference
+    _program: Program | None = field(default=None, repr=False)
+
+    def program(self) -> Program:
+        """Compile (once) and return the loadable program image."""
+        if self._program is None:
+            self._program = compile_source(self.source)
+        return self._program

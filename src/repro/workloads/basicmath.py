@@ -1,0 +1,115 @@
+"""basicmath workload (MiBench auto/basicmath equivalent).
+
+Integer ports of basicmath's kernels: integer square root (bit-by-bit,
+like MiBench's ``usqrt``), cube-root extraction by binary search (standing
+in for the cubic-equation solver) and fixed-point degree→radian conversion.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, sdiv, u32
+
+_COUNT = 60
+
+_TEMPLATE = """\
+int isqrt(int x) {{
+    int root = 0;
+    int bit = 1 << 30;
+    while (bit > x) {{
+        bit = bit >> 2;
+    }}
+    while (bit != 0) {{
+        if (x >= root + bit) {{
+            x = x - (root + bit);
+            root = (root >> 1) + bit;
+        }} else {{
+            root = root >> 1;
+        }}
+        bit = bit >> 2;
+    }}
+    return root;
+}}
+
+int icbrt(int x) {{
+    int lo = 0;
+    int hi = 1291;
+    while (lo < hi) {{
+        int mid = (lo + hi + 1) / 2;
+        if (mid * mid * mid <= x) {{
+            lo = mid;
+        }} else {{
+            hi = mid - 1;
+        }}
+    }}
+    return lo;
+}}
+
+int deg2rad(int deg) {{
+    return (deg * 31416) / 1800;
+}}
+
+int main() {{
+    int sq = 0;
+    int cb = 0;
+    int rad = 0;
+    for (int i = 1; i <= {count}; i = i + 1) {{
+        sq = sq + isqrt(i * i * 37 + i * 11 + 5);
+        cb = cb + icbrt(i * i * i + i * 101 + 7);
+        rad = rad + deg2rad(i * 13 % 360);
+    }}
+    putd(sq);
+    putd(cb);
+    putd(rad);
+    putw(sq * 31 + cb * 17 + rad);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _isqrt(x: int) -> int:
+    root = 0
+    bit = 1 << 30
+    while bit > x:
+        bit >>= 2
+    while bit:
+        if x >= root + bit:
+            x -= root + bit
+            root = (root >> 1) + bit
+        else:
+            root >>= 1
+        bit >>= 2
+    return root
+
+
+def _icbrt(x: int) -> int:
+    lo, hi = 0, 1291
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if mid * mid * mid <= x:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def build() -> Workload:
+    sq = cb = rad = 0
+    for i in range(1, _COUNT + 1):
+        sq += _isqrt(i * i * 37 + i * 11 + 5)
+        cb += _icbrt(i * i * i + i * 101 + 7)
+        rad += sdiv((i * 13 % 360) * 31416, 1800)
+    out = Output()
+    out.putd(sq)
+    out.putd(cb)
+    out.putd(rad)
+    out.putw(u32(sq * 31 + cb * 17 + rad))
+    source = _TEMPLATE.format(count=_COUNT)
+    return Workload(
+        name="basicmath",
+        paper_name="basicmath",
+        paper_cycles=67_556_250,
+        description="integer sqrt / cbrt / angle-conversion kernels",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,131 @@
+"""jpeg compress workload (MiBench consumer/jpeg "cjpeg" equivalent).
+
+The classic JPEG luminance pipeline: level shift, integer
+2-D DCT, quantisation with the Annex-K table, zigzag scan and zero-run-length
+encoding on an 8x8 synthetic image.  The run-length pairs and coefficient checksum are the output.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, sdiv, u32
+from repro.workloads._imagelib import (
+    DCT_SCALE_BITS, QUANT_TABLE, ZIGZAG, dct_2d, dct_table, make_image,
+)
+
+_WIDTH = 8
+_HEIGHT = 8
+_BLOCKS = (_WIDTH // 8) * (_HEIGHT // 8)
+
+_TEMPLATE = """\
+byte img[{npix}] = {{{img}}};
+int dcttab[64] = {{{dct}}};
+int qtab[64] = {{{quant}}};
+int zigzag[64] = {{{zigzag}}};
+int blk[64];
+int tmp[64];
+int coef[64];
+
+void load_block(int bx) {{
+    for (int y = 0; y < 8; y = y + 1) {{
+        for (int x = 0; x < 8; x = x + 1) {{
+            blk[y * 8 + x] = img[y * {width} + bx * 8 + x] - 128;
+        }}
+    }}
+}}
+
+void dct_block() {{
+    for (int y = 0; y < 8; y = y + 1) {{
+        for (int u = 0; u < 8; u = u + 1) {{
+            int acc = 0;
+            for (int x = 0; x < 8; x = x + 1) {{
+                acc = acc + dcttab[u * 8 + x] * blk[y * 8 + x];
+            }}
+            tmp[y * 8 + u] = acc >> {scale};
+        }}
+    }}
+    for (int u = 0; u < 8; u = u + 1) {{
+        for (int v = 0; v < 8; v = v + 1) {{
+            int acc = 0;
+            for (int y = 0; y < 8; y = y + 1) {{
+                acc = acc + dcttab[v * 8 + y] * tmp[y * 8 + u];
+            }}
+            coef[v * 8 + u] = acc >> {scale};
+        }}
+    }}
+}}
+
+int main() {{
+    int checksum = 0;
+    int pairs = 0;
+    for (int b = 0; b < {blocks}; b = b + 1) {{
+        load_block(b);
+        dct_block();
+        int run = 0;
+        for (int i = 0; i < 64; i = i + 1) {{
+            int q = coef[zigzag[i]] / qtab[zigzag[i]];
+            if (q == 0) {{
+                run = run + 1;
+            }} else {{
+                putd(run);
+                putd(q);
+                pairs = pairs + 1;
+                checksum = checksum * 37 + q + run;
+                run = 0;
+            }}
+        }}
+        putd(-run - 1);
+    }}
+    putd(pairs);
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> Workload:
+    image = make_image("cjpeg", _WIDTH, _HEIGHT)
+    table = dct_table()
+
+    out = Output()
+    checksum = 0
+    pairs = 0
+    for b in range(_BLOCKS):
+        block = [
+            image[y * _WIDTH + b * 8 + x] - 128
+            for y in range(8) for x in range(8)
+        ]
+        coeffs = dct_2d(block, table)
+        run = 0
+        for i in range(64):
+            q = sdiv(coeffs[ZIGZAG[i]], QUANT_TABLE[ZIGZAG[i]])
+            if q == 0:
+                run += 1
+            else:
+                out.putd(run)
+                out.putd(q)
+                pairs += 1
+                checksum = u32(checksum * 37 + q + run)
+                run = 0
+        out.putd(-run - 1)
+    out.putd(pairs)
+    out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        npix=_WIDTH * _HEIGHT,
+        width=_WIDTH,
+        blocks=_BLOCKS,
+        scale=DCT_SCALE_BITS,
+        img=fmt_ints(image),
+        dct=fmt_ints(table),
+        quant=fmt_ints(QUANT_TABLE),
+        zigzag=fmt_ints(ZIGZAG),
+    )
+    return Workload(
+        name="cjpeg",
+        paper_name="jpeg C",
+        paper_cycles=26_126_843,
+        description="JPEG-style DCT + quantise + zigzag + RLE per 8x8 block",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,73 @@
+"""CRC32 workload (MiBench telecomm/CRC32 equivalent).
+
+Bitwise (table-free) CRC-32 with the reflected polynomial 0xEDB88320 over a
+seeded byte buffer, emitting periodic checkpoints and the final checksum.
+CRC32 is the longest-running benchmark in the paper's Table III, so it gets
+the largest input here as well.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, rng, u32
+
+_SIZE = 245
+_CHECKPOINT = 100
+_POLY = 0xEDB88320
+
+_TEMPLATE = """\
+byte msg[{size}] = {{{data}}};
+
+int main() {{
+    int crc = -1;
+    for (int i = 0; i < {size}; i = i + 1) {{
+        crc = crc ^ msg[i];
+        for (int b = 0; b < 8; b = b + 1) {{
+            int lsb = crc & 1;
+            crc = (crc >> 1) & 2147483647;
+            if (lsb) {{
+                crc = crc ^ {poly};
+            }}
+        }}
+        if (i % {checkpoint} == {checkpoint} - 1) {{
+            putw(crc);
+        }}
+    }}
+    putw(crc ^ -1);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _crc32_reference(data: bytes, out: Output) -> None:
+    crc = 0xFFFFFFFF
+    for i, byte in enumerate(data):
+        crc ^= byte
+        for _ in range(8):
+            lsb = crc & 1
+            crc >>= 1
+            if lsb:
+                crc ^= _POLY
+        if i % _CHECKPOINT == _CHECKPOINT - 1:
+            out.putw(crc)
+    out.putw(u32(crc ^ 0xFFFFFFFF))
+
+
+def build() -> Workload:
+    data = bytes(rng("crc32").randrange(256) for _ in range(_SIZE))
+    out = Output()
+    _crc32_reference(data, out)
+    source = _TEMPLATE.format(
+        size=_SIZE,
+        checkpoint=_CHECKPOINT,
+        poly=_POLY,
+        data=fmt_ints(list(data)),
+    )
+    return Workload(
+        name="crc32",
+        paper_name="CRC32",
+        paper_cycles=132_195_721,
+        description="bitwise CRC-32 over a 300-byte buffer",
+        source=source,
+        expected_output=out.bytes(),
+    )

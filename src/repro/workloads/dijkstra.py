@@ -1,0 +1,113 @@
+"""dijkstra workload (MiBench network/dijkstra equivalent).
+
+Single-source shortest paths on a seeded dense weighted digraph using the
+O(N^2) adjacency-matrix formulation, like the MiBench original.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, rng
+
+_NODES = 20
+_INF = 1 << 28
+
+
+def _generate_graph() -> list[list[int]]:
+    rand = rng("dijkstra")
+    adj = [[0] * _NODES for _ in range(_NODES)]
+    for i in range(_NODES):
+        for j in range(_NODES):
+            if i != j and rand.random() < 0.35:
+                adj[i][j] = rand.randrange(1, 30)
+    # Guarantee reachability via a ring.
+    for i in range(_NODES):
+        adj[i][(i + 1) % _NODES] = adj[i][(i + 1) % _NODES] or 7
+    return adj
+
+
+def _dijkstra_reference(adj: list[list[int]]) -> list[int]:
+    dist = [_INF] * _NODES
+    done = [False] * _NODES
+    dist[0] = 0
+    for _ in range(_NODES):
+        best, best_d = -1, _INF + 1
+        for v in range(_NODES):
+            if not done[v] and dist[v] < best_d:
+                best, best_d = v, dist[v]
+        if best < 0:
+            break
+        done[best] = True
+        for v in range(_NODES):
+            w = adj[best][v]
+            if w and dist[best] + w < dist[v]:
+                dist[v] = dist[best] + w
+    return dist
+
+
+_TEMPLATE = """\
+int adj[{cells}] = {{{matrix}}};
+int dist[{nodes}];
+int done[{nodes}];
+
+int main() {{
+    for (int v = 0; v < {nodes}; v = v + 1) {{
+        dist[v] = {inf};
+        done[v] = 0;
+    }}
+    dist[0] = 0;
+    for (int iter = 0; iter < {nodes}; iter = iter + 1) {{
+        int best = -1;
+        int bestd = {inf} + 1;
+        for (int v = 0; v < {nodes}; v = v + 1) {{
+            if (done[v] == 0 && dist[v] < bestd) {{
+                best = v;
+                bestd = dist[v];
+            }}
+        }}
+        if (best < 0) {{
+            break;
+        }}
+        done[best] = 1;
+        for (int v = 0; v < {nodes}; v = v + 1) {{
+            int w = adj[best * {nodes} + v];
+            if (w != 0 && dist[best] + w < dist[v]) {{
+                dist[v] = dist[best] + w;
+            }}
+        }}
+    }}
+    int checksum = 0;
+    for (int v = 0; v < {nodes}; v = v + 1) {{
+        putd(dist[v]);
+        checksum = checksum * 131 + dist[v];
+    }}
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> Workload:
+    adj = _generate_graph()
+    dist = _dijkstra_reference(adj)
+    out = Output()
+    checksum = 0
+    for value in dist:
+        out.putd(value)
+        checksum = (checksum * 131 + value) & 0xFFFFFFFF
+    out.putw(checksum)
+    flat = [w for row in adj for w in row]
+    source = _TEMPLATE.format(
+        cells=_NODES * _NODES,
+        nodes=_NODES,
+        inf=_INF,
+        matrix=fmt_ints(flat),
+    )
+    return Workload(
+        name="dijkstra",
+        paper_name="dijkstra",
+        paper_cycles=41_643_556,
+        description=f"O(N^2) Dijkstra on a dense {_NODES}-node digraph",
+        source=source,
+        expected_output=out.bytes(),
+    )

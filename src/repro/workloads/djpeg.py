@@ -1,0 +1,130 @@
+"""jpeg decompress workload (MiBench consumer/jpeg "djpeg" equivalent).
+
+Inverse of the cjpeg pipeline at 1/2 scale, the way ``djpeg -scale 1/2``
+decodes: the generator runs the forward path (integer DCT + quantise +
+zigzag) on a synthetic 8x8 image to produce a realistic coefficient stream,
+and the simulated program dequantises the top-left 4x4 coefficients and
+applies a 4-point integer 2-D IDCT, producing a downscaled 4x4 tile.
+Scaled decoding keeps djpeg much lighter than cjpeg, matching the paper's
+Table III ratio.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Output, Workload, asr, fmt_ints, s32, sdiv, u32
+from repro.workloads._imagelib import (
+    DCT_SCALE_BITS, QUANT_TABLE, ZIGZAG, dct_2d, dct_table, make_image,
+)
+
+_TEMPLATE = """\
+int qcoef[64] = {{{qcoef}}};
+int dct4[16] = {{{dct4}}};
+int qtab[64] = {{{quant}}};
+int zigzag[64] = {{{zigzag}}};
+int coef[64];
+int tmp[16];
+int pix[16];
+
+int main() {{
+    for (int i = 0; i < 64; i = i + 1) {{
+        coef[zigzag[i]] = qcoef[i] * qtab[zigzag[i]];
+    }}
+    for (int u = 0; u < 4; u = u + 1) {{
+        for (int y = 0; y < 4; y = y + 1) {{
+            int acc = 0;
+            for (int v = 0; v < 4; v = v + 1) {{
+                acc = acc + dct4[v * 4 + y] * coef[v * 8 + u];
+            }}
+            tmp[y * 4 + u] = acc >> {scale};
+        }}
+    }}
+    for (int y = 0; y < 4; y = y + 1) {{
+        for (int x = 0; x < 4; x = x + 1) {{
+            int acc = 0;
+            for (int u = 0; u < 4; u = u + 1) {{
+                acc = acc + dct4[u * 4 + x] * tmp[y * 4 + u];
+            }}
+            int value = (acc >> {scale}) + 128;
+            if (value < 0) {{
+                value = 0;
+            }}
+            if (value > 255) {{
+                value = 255;
+            }}
+            pix[y * 4 + x] = value;
+        }}
+    }}
+    int checksum = 0;
+    for (int i = 0; i < 16; i = i + 1) {{
+        checksum = checksum * 41 + pix[i];
+        if (i % 4 == 3) {{
+            putd(pix[i]);
+        }}
+    }}
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _dct4_table() -> list[int]:
+    """4-point scaled-IDCT kernel, same construction as the 8-point one."""
+    table = []
+    for u in range(4):
+        cu = 1 / math.sqrt(2) if u == 0 else 1.0
+        for x in range(4):
+            value = (cu / 2) * math.cos((2 * x + 1) * u * math.pi / 8)
+            table.append(round(value * (1 << DCT_SCALE_BITS)))
+    return table
+
+
+def build() -> Workload:
+    image = make_image("djpeg", 8, 8)
+    table8 = dct_table()
+    table4 = _dct4_table()
+    block = [image[i] - 128 for i in range(64)]
+    coeffs = dct_2d(block, table8)
+    qcoef = [sdiv(coeffs[ZIGZAG[i]], QUANT_TABLE[ZIGZAG[i]]) for i in range(64)]
+
+    # Reference decode, mirroring the MiniC program (4x4 scaled IDCT).
+    dequant = [0] * 64
+    for i in range(64):
+        dequant[ZIGZAG[i]] = qcoef[i] * QUANT_TABLE[ZIGZAG[i]]
+    tmp = [0] * 16
+    for u in range(4):
+        for y in range(4):
+            acc = 0
+            for v in range(4):
+                acc += table4[v * 4 + y] * dequant[v * 8 + u]
+            tmp[y * 4 + u] = s32(asr(acc, DCT_SCALE_BITS))
+    out = Output()
+    checksum = 0
+    for y in range(4):
+        for x in range(4):
+            acc = 0
+            for u in range(4):
+                acc += table4[u * 4 + x] * tmp[y * 4 + u]
+            value = max(0, min(255, s32(asr(acc, DCT_SCALE_BITS)) + 128))
+            checksum = u32(checksum * 41 + value)
+            if (y * 4 + x) % 4 == 3:
+                out.putd(value)
+    out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        scale=DCT_SCALE_BITS,
+        qcoef=fmt_ints(qcoef),
+        dct4=fmt_ints(table4),
+        quant=fmt_ints(QUANT_TABLE),
+        zigzag=fmt_ints(ZIGZAG),
+    )
+    return Workload(
+        name="djpeg",
+        paper_name="jpeg D",
+        paper_cycles=10_105_853,
+        description="JPEG-style 1/2-scale decode: dequantise + 4x4 IDCT",
+        source=source,
+        expected_output=out.bytes(),
+    )

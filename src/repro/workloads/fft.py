@@ -1,0 +1,152 @@
+"""FFT workload (MiBench telecomm/FFT equivalent).
+
+In-place radix-2 decimation-in-time FFT on Q15 fixed-point data, N = 64,
+with embedded quarter-wave-derived twiddle tables and per-stage scaling —
+the standard embedded-DSP formulation.  The reference implementation mirrors
+the fixed-point arithmetic bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Output, Workload, asr, fmt_ints, rng, s32
+
+_N = 64
+_LOG2N = 6
+
+_TEMPLATE = """\
+int re[{n}] = {{{re}}};
+int im[{n}];
+int costab[{half}] = {{{cos}}};
+int sintab[{half}] = {{{sin}}};
+
+void bitrev() {{
+    int j = 0;
+    for (int i = 0; i < {n} - 1; i = i + 1) {{
+        if (i < j) {{
+            int t = re[i];
+            re[i] = re[j];
+            re[j] = t;
+            t = im[i];
+            im[i] = im[j];
+            im[j] = t;
+        }}
+        int k = {n} / 2;
+        while (k <= j) {{
+            j = j - k;
+            k = k / 2;
+        }}
+        j = j + k;
+    }}
+}}
+
+int main() {{
+    bitrev();
+    int len = 2;
+    while (len <= {n}) {{
+        int half = len / 2;
+        int step = {n} / len;
+        for (int base = 0; base < {n}; base = base + len) {{
+            for (int j = 0; j < half; j = j + 1) {{
+                int c = costab[j * step];
+                int s = sintab[j * step];
+                int idx = base + j + half;
+                int tr = (c * re[idx] + s * im[idx]) >> 15;
+                int ti = (c * im[idx] - s * re[idx]) >> 15;
+                int ur = re[base + j] >> 1;
+                int ui = im[base + j] >> 1;
+                tr = tr >> 1;
+                ti = ti >> 1;
+                re[base + j] = ur + tr;
+                im[base + j] = ui + ti;
+                re[idx] = ur - tr;
+                im[idx] = ui - ti;
+            }}
+        }}
+        len = len * 2;
+    }}
+    int checksum = 0;
+    for (int i = 0; i < {n}; i = i + 1) {{
+        checksum = checksum * 17 + re[i] + im[i];
+    }}
+    putw(checksum);
+    for (int i = 0; i < {n}; i = i + {stride}) {{
+        putd(re[i]);
+        putd(im[i]);
+    }}
+    exit(0);
+    return 0;
+}}
+"""
+
+_STRIDE = 8
+
+
+def _fft_reference(re: list[int], im: list[int],
+                   cos: list[int], sin: list[int]) -> None:
+    n = _N
+    # Bit reversal.
+    j = 0
+    for i in range(n - 1):
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+        k = n // 2
+        while k <= j:
+            j -= k
+            k //= 2
+        j += k
+    length = 2
+    while length <= n:
+        half = length // 2
+        step = n // length
+        for base in range(0, n, length):
+            for jj in range(half):
+                c = cos[jj * step]
+                s = sin[jj * step]
+                idx = base + jj + half
+                tr = asr(c * re[idx] + s * im[idx], 15)
+                ti = asr(c * im[idx] - s * re[idx], 15)
+                ur = asr(re[base + jj], 1)
+                ui = asr(im[base + jj], 1)
+                tr = asr(tr, 1)
+                ti = asr(ti, 1)
+                re[base + jj] = s32(ur + tr)
+                im[base + jj] = s32(ui + ti)
+                re[idx] = s32(ur - tr)
+                im[idx] = s32(ui - ti)
+        length *= 2
+
+
+def build() -> Workload:
+    rand = rng("fft")
+    re = [rand.randrange(-2048, 2048) for _ in range(_N)]
+    im = [0] * _N
+    half = _N // 2
+    cos = [round(32767 * math.cos(2 * math.pi * k / _N)) for k in range(half)]
+    sin = [round(32767 * math.sin(2 * math.pi * k / _N)) for k in range(half)]
+
+    ref_re, ref_im = list(re), list(im)
+    _fft_reference(ref_re, ref_im, cos, sin)
+    out = Output()
+    checksum = 0
+    for i in range(_N):
+        checksum = (checksum * 17 + ref_re[i] + ref_im[i]) & 0xFFFFFFFF
+    out.putw(checksum)
+    for i in range(0, _N, _STRIDE):
+        out.putd(ref_re[i])
+        out.putd(ref_im[i])
+
+    source = _TEMPLATE.format(
+        n=_N, half=half, stride=_STRIDE,
+        re=fmt_ints(re), cos=fmt_ints(cos), sin=fmt_ints(sin),
+    )
+    return Workload(
+        name="fft",
+        paper_name="FFT",
+        paper_cycles=48_339_852,
+        description="64-point Q15 fixed-point radix-2 FFT",
+        source=source,
+        expected_output=out.bytes(),
+    )

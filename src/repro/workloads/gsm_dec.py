@@ -1,0 +1,114 @@
+"""GSM decode workload (MiBench telecomm/gsm equivalent).
+
+A GSM-06.10-flavoured decoder stage: long-term prediction (per-subframe lag
+and gain applied to the reconstructed history) followed by a short
+de-emphasis filter, on Q6 fixed-point residual data — the synthesis half of
+the full-rate codec, scaled to subframe counts that simulate quickly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Output, Workload, asr, fmt_ints, rng, s32
+
+_SUBFRAMES = 2
+_SUBLEN = 40
+_TOTAL = _SUBFRAMES * _SUBLEN
+_HISTORY = 120
+
+_TEMPLATE = """\
+int residual[{total}] = {{{residual}}};
+int lags[{subframes}] = {{{lags}}};
+int gains[{subframes}] = {{{gains}}};
+int out[{buflen}];
+
+int main() {{
+    int pos = {history};
+    for (int f = 0; f < {subframes}; f = f + 1) {{
+        int lag = lags[f];
+        int gain = gains[f];
+        for (int n = 0; n < {sublen}; n = n + 1) {{
+            int pred = (gain * out[pos - lag]) >> 6;
+            int s = residual[f * {sublen} + n] + pred;
+            if (s > 32767) {{
+                s = 32767;
+            }}
+            if (s < -32768) {{
+                s = -32768;
+            }}
+            out[pos] = s;
+            pos = pos + 1;
+        }}
+    }}
+    int msr = 0;
+    int checksum = 0;
+    for (int i = {history}; i < {history} + {total}; i = i + 1) {{
+        msr = ((msr * 28180) >> 15) + out[i];
+        if (msr > 32767) {{
+            msr = 32767;
+        }}
+        if (msr < -32768) {{
+            msr = -32768;
+        }}
+        checksum = checksum * 23 + msr;
+        if ((i - {history}) % 48 == 47) {{
+            putd(msr);
+        }}
+    }}
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> Workload:
+    rand = rng("gsm")
+    residual = [
+        int(900 * math.sin(i / 5.0)) + rand.randrange(-200, 200)
+        for i in range(_TOTAL)
+    ]
+    lags = [rand.randrange(40, _HISTORY) for _ in range(_SUBFRAMES)]
+    gains = [rand.randrange(20, 60) for _ in range(_SUBFRAMES)]
+
+    buflen = _HISTORY + _TOTAL
+    out_buf = [0] * buflen
+    pos = _HISTORY
+    for f in range(_SUBFRAMES):
+        lag, gain = lags[f], gains[f]
+        for n in range(_SUBLEN):
+            pred = asr(gain * out_buf[pos - lag], 6)
+            s = s32(residual[f * _SUBLEN + n] + s32(pred))
+            s = max(-32768, min(32767, s))
+            out_buf[pos] = s
+            pos += 1
+
+    out = Output()
+    msr = checksum = 0
+    for i in range(_HISTORY, buflen):
+        msr = s32(asr(msr * 28180, 15) + out_buf[i])
+        msr = max(-32768, min(32767, msr))
+        checksum = (checksum * 23 + msr) & 0xFFFFFFFF
+        if (i - _HISTORY) % 48 == 47:
+            out.putd(msr)
+    out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        total=_TOTAL,
+        subframes=_SUBFRAMES,
+        sublen=_SUBLEN,
+        history=_HISTORY,
+        buflen=buflen,
+        residual=fmt_ints(residual),
+        lags=fmt_ints(lags),
+        gains=fmt_ints(gains),
+    )
+    return Workload(
+        name="gsm_dec",
+        paper_name="gsm_dec",
+        paper_cycles=12_862_888,
+        description="GSM-style LTP synthesis + de-emphasis over 6 subframes",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,84 @@
+"""qsort workload (MiBench auto/qsort equivalent).
+
+Recursive quicksort (Lomuto partition) over a seeded integer array.  The
+paper observes unusually high Timeout rates for qsort under injection —
+corrupted indices readily turn the partition walk into a non-terminating
+loop — and the same structure is preserved here.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, rng
+
+_SIZE = 100
+
+_TEMPLATE = """\
+int a[{size}] = {{{data}}};
+
+void quicksort(int *arr, int lo, int hi) {{
+    if (lo >= hi) {{
+        return;
+    }}
+    int pivot = arr[hi];
+    int i = lo - 1;
+    for (int j = lo; j < hi; j = j + 1) {{
+        if (arr[j] <= pivot) {{
+            i = i + 1;
+            int tmp = arr[i];
+            arr[i] = arr[j];
+            arr[j] = tmp;
+        }}
+    }}
+    int tmp2 = arr[i + 1];
+    arr[i + 1] = arr[hi];
+    arr[hi] = tmp2;
+    quicksort(arr, lo, i);
+    quicksort(arr, i + 2, hi);
+}}
+
+int main() {{
+    quicksort(a, 0, {size} - 1);
+    int checksum = 0;
+    int sorted = 1;
+    for (int i = 0; i < {size}; i = i + 1) {{
+        checksum = checksum * 31 + a[i];
+        if (i > 0 && a[i - 1] > a[i]) {{
+            sorted = 0;
+        }}
+    }}
+    putd(sorted);
+    putw(checksum);
+    for (int i = 0; i < {size}; i = i + {stride}) {{
+        putd(a[i]);
+    }}
+    exit(0);
+    return 0;
+}}
+"""
+
+_STRIDE = 10
+
+
+def build() -> Workload:
+    rand = rng("qsort")
+    data = [rand.randrange(-5000, 5000) for _ in range(_SIZE)]
+    ordered = sorted(data)
+    checksum = 0
+    for value in ordered:
+        checksum = (checksum * 31 + value) & 0xFFFFFFFF
+    out = Output()
+    out.putd(1)
+    out.putw(checksum)
+    for i in range(0, _SIZE, _STRIDE):
+        out.putd(ordered[i])
+    source = _TEMPLATE.format(
+        size=_SIZE, stride=_STRIDE, data=fmt_ints(data)
+    )
+    return Workload(
+        name="qsort",
+        paper_name="qsort",
+        paper_cycles=31_326_716,
+        description="recursive quicksort of 220 integers",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,55 @@
+"""Workload registry: the paper's 15 MiBench benchmarks by name."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+
+
+def _builders() -> dict[str, Callable[[], Workload]]:
+    # Imported lazily so that a single broken workload module does not take
+    # down the whole package, and so import cost is paid on first use.
+    from repro.workloads import (
+        adpcm_dec, basicmath, cjpeg, crc32, dijkstra, djpeg, fft, gsm_dec,
+        qsort, rijndael_dec, sha, stringsearch, susan_c, susan_e, susan_s,
+    )
+
+    modules = [
+        crc32, fft, adpcm_dec, basicmath, cjpeg, dijkstra, djpeg, gsm_dec,
+        qsort, rijndael_dec, sha, stringsearch, susan_c, susan_e, susan_s,
+    ]
+    return {mod.__name__.rsplit(".", 1)[-1]: mod.build for mod in modules}
+
+
+#: name -> zero-argument builder, in the paper's Table III order.
+WORKLOAD_BUILDERS: dict[str, Callable[[], Workload]] = {}
+
+
+def _ensure_builders() -> dict[str, Callable[[], Workload]]:
+    if not WORKLOAD_BUILDERS:
+        WORKLOAD_BUILDERS.update(_builders())
+    return WORKLOAD_BUILDERS
+
+
+def workload_names() -> list[str]:
+    """All 15 workload names in Table III order."""
+    return list(_ensure_builders())
+
+
+@lru_cache(maxsize=None)
+def get_workload(name: str) -> Workload:
+    """Build (and cache) one workload by name."""
+    builders = _ensure_builders()
+    if name not in builders:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {', '.join(builders)}"
+        )
+    return builders[name]()
+
+
+def load_all_workloads() -> list[Workload]:
+    """Build all 15 workloads."""
+    return [get_workload(name) for name in workload_names()]

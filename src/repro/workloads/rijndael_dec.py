@@ -1,0 +1,257 @@
+"""Rijndael decode workload (MiBench security/rijndael equivalent).
+
+AES-128 decryption (FIPS-197 InvCipher: InvShiftRows, InvSubBytes via an
+embedded inverse S-box, AddRoundKey, xtime-chain InvMixColumns) of one
+block.  The generator encrypts a known printable plaintext with a full
+Python AES-128 *forward* cipher, so the simulated decryption is verified
+against an independent implementation of the other direction — any
+asymmetry or dataflow error breaks the round trip.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, rng, u32
+
+_BLOCKS = 1
+
+
+# -- GF(2^8) and S-box construction (standard generator, self-checked) -------
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _rotl8(x: int, n: int) -> int:
+    return ((x << n) | (x >> (8 - n))) & 0xFF
+
+
+def _build_sbox() -> list[int]:
+    sbox = [0] * 256
+    p = q = 1
+    while True:
+        # p iterates over GF(2^8)* via multiplication by 3; q tracks 1/p.
+        p = p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)
+        q ^= q << 1
+        q ^= q << 2
+        q ^= q << 4
+        q &= 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        value = (
+            q ^ _rotl8(q, 1) ^ _rotl8(q, 2) ^ _rotl8(q, 3) ^ _rotl8(q, 4)
+        ) ^ 0x63
+        sbox[p] = value
+        if p == 1:
+            break
+    sbox[0] = 0x63
+    assert sbox[0x00] == 0x63 and sbox[0x01] == 0x7C and sbox[0x53] == 0xED
+    return sbox
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = [0] * 256
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+
+
+def _gmul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _expand_key(key: bytes) -> list[list[int]]:
+    """AES-128 key schedule: 44 words as byte quadruples."""
+    words = [list(key[4 * i:4 * i + 4]) for i in range(4)]
+    rcon = 1
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= rcon
+            rcon = _xtime(rcon)
+        words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+    return words
+
+
+def _encrypt_block(block: bytes, round_keys: list[list[int]]) -> bytes:
+    # FIPS state is column-major with state[r + 4c] = in[4c + r]; since we
+    # index the flat list as state[4c + r], input order is the identity.
+    state = list(block)
+
+    def add_round_key(rnd: int) -> None:
+        for c in range(4):
+            for r in range(4):
+                state[4 * c + r] ^= round_keys[4 * rnd + c][r]
+
+    def sub_bytes() -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    def shift_rows() -> None:
+        old = list(state)
+        for r in range(4):
+            for c in range(4):
+                state[4 * c + r] = old[4 * ((c + r) % 4) + r]
+
+    def mix_columns() -> None:
+        for c in range(4):
+            col = state[4 * c:4 * c + 4]
+            state[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+            state[4 * c + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+            state[4 * c + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+            state[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+
+    add_round_key(0)
+    for rnd in range(1, 10):
+        sub_bytes()
+        shift_rows()
+        mix_columns()
+        add_round_key(rnd)
+    sub_bytes()
+    shift_rows()
+    add_round_key(10)
+    return bytes(state)
+
+
+_TEMPLATE = """\
+byte ct[{nbytes}] = {{{ct}}};
+byte rk[176] = {{{rk}}};
+byte invsbox[256] = {{{invsbox}}};
+byte state[16];
+byte tmp[16];
+
+int xt(int a) {{
+    int r = (a << 1) & 255;
+    if (a & 128) {{
+        r = r ^ 27;
+    }}
+    return r;
+}}
+
+void add_round_key(int rnd) {{
+    for (int i = 0; i < 16; i = i + 1) {{
+        state[i] = state[i] ^ rk[rnd * 16 + i];
+    }}
+}}
+
+void inv_shift_rows() {{
+    for (int i = 0; i < 16; i = i + 1) {{
+        tmp[i] = state[i];
+    }}
+    for (int r = 0; r < 4; r = r + 1) {{
+        for (int c = 0; c < 4; c = c + 1) {{
+            state[4 * ((c + r) % 4) + r] = tmp[4 * c + r];
+        }}
+    }}
+}}
+
+void inv_sub_bytes() {{
+    for (int i = 0; i < 16; i = i + 1) {{
+        state[i] = invsbox[state[i]];
+    }}
+}}
+
+void inv_mix_columns() {{
+    for (int c = 0; c < 4; c = c + 1) {{
+        int s0 = state[4 * c];
+        int s1 = state[4 * c + 1];
+        int s2 = state[4 * c + 2];
+        int s3 = state[4 * c + 3];
+        int m2_0 = xt(s0);
+        int m4_0 = xt(m2_0);
+        int m8_0 = xt(m4_0);
+        int m2_1 = xt(s1);
+        int m4_1 = xt(m2_1);
+        int m8_1 = xt(m4_1);
+        int m2_2 = xt(s2);
+        int m4_2 = xt(m2_2);
+        int m8_2 = xt(m4_2);
+        int m2_3 = xt(s3);
+        int m4_3 = xt(m2_3);
+        int m8_3 = xt(m4_3);
+        state[4 * c]     = (m8_0 ^ m4_0 ^ m2_0) ^ (m8_1 ^ m2_1 ^ s1)
+                         ^ (m8_2 ^ m4_2 ^ s2) ^ (m8_3 ^ s3);
+        state[4 * c + 1] = (m8_0 ^ s0) ^ (m8_1 ^ m4_1 ^ m2_1)
+                         ^ (m8_2 ^ m2_2 ^ s2) ^ (m8_3 ^ m4_3 ^ s3);
+        state[4 * c + 2] = (m8_0 ^ m4_0 ^ s0) ^ (m8_1 ^ s1)
+                         ^ (m8_2 ^ m4_2 ^ m2_2) ^ (m8_3 ^ m2_3 ^ s3);
+        state[4 * c + 3] = (m8_0 ^ m2_0 ^ s0) ^ (m8_1 ^ m4_1 ^ s1)
+                         ^ (m8_2 ^ s2) ^ (m8_3 ^ m4_3 ^ m2_3);
+    }}
+}}
+
+int main() {{
+    int checksum = 0;
+    for (int b = 0; b < {blocks}; b = b + 1) {{
+        for (int i = 0; i < 16; i = i + 1) {{
+            state[i] = ct[b * 16 + i];
+        }}
+        add_round_key(10);
+        for (int rnd = 9; rnd >= 1; rnd = rnd - 1) {{
+            inv_shift_rows();
+            inv_sub_bytes();
+            add_round_key(rnd);
+            inv_mix_columns();
+        }}
+        inv_shift_rows();
+        inv_sub_bytes();
+        add_round_key(0);
+        for (int i = 0; i < 16; i = i + 1) {{
+            putc(state[i]);
+            checksum = checksum * 7 + state[i];
+        }}
+    }}
+    putc('\\n');
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> Workload:
+    rand = rng("rijndael")
+    key = bytes(rand.randrange(256) for _ in range(16))
+    plaintext = bytes(
+        rand.randrange(0x20, 0x7F) for _ in range(16 * _BLOCKS)
+    )
+    round_keys = _expand_key(key)
+    ciphertext = b"".join(
+        _encrypt_block(plaintext[16 * b:16 * b + 16], round_keys)
+        for b in range(_BLOCKS)
+    )
+    rk_flat = [round_keys[4 * rnd + c][r]
+               for rnd in range(11) for c in range(4) for r in range(4)]
+
+    out = Output()
+    checksum = 0
+    for byte in plaintext:
+        out.putc(byte)
+        checksum = u32(checksum * 7 + byte)
+    out.putc(ord("\n"))
+    out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        nbytes=16 * _BLOCKS,
+        blocks=_BLOCKS,
+        ct=fmt_ints(list(ciphertext)),
+        rk=fmt_ints(rk_flat),
+        invsbox=fmt_ints(_INV_SBOX),
+    )
+    return Workload(
+        name="rijndael_dec",
+        paper_name="rijndael D",
+        paper_cycles=33_327_494,
+        description="AES-128 decryption (oracle: independent forward cipher)",
+        source=source,
+        expected_output=out.bytes(),
+    )

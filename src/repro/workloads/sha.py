@@ -1,0 +1,132 @@
+"""SHA workload (MiBench security/sha equivalent): SHA-1 digest.
+
+The MiniC program implements SHA-1 over a pre-padded message (padding is
+computed by the generator; the compression function — message schedule,
+rotations, all 80 rounds — runs on the simulated CPU).  The expected output
+comes from :mod:`hashlib`, making this the strongest end-to-end oracle in
+the suite: one wrong bit anywhere in the compiler, ISA, core or memory
+system scrambles the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.workloads.base import Output, Workload, fmt_ints, rng
+
+_MSG_LEN = 30  # pads to one 64-byte block
+
+_TEMPLATE = """\
+byte msg[{padded_len}] = {{{data}}};
+int w[80];
+
+int rotl1(int x) {{
+    return (x << 1) | ((x >> 31) & 1);
+}}
+
+int rotl5(int x) {{
+    return (x << 5) | ((x >> 27) & 31);
+}}
+
+int rotl30(int x) {{
+    return (x << 30) | ((x >> 2) & 1073741823);
+}}
+
+int h0; int h1; int h2; int h3; int h4;
+
+void sha1_block(int off) {{
+    for (int t = 0; t < 16; t = t + 1) {{
+        int base = off + t * 4;
+        w[t] = (msg[base] << 24) | (msg[base + 1] << 16)
+             | (msg[base + 2] << 8) | msg[base + 3];
+    }}
+    for (int t = 16; t < 80; t = t + 1) {{
+        w[t] = rotl1(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]);
+    }}
+    int a = h0;
+    int b = h1;
+    int c = h2;
+    int d = h3;
+    int e = h4;
+    for (int t = 0; t < 80; t = t + 1) {{
+        int f = 0;
+        int k = 0;
+        if (t < 20) {{
+            f = (b & c) | ((~b) & d);
+            k = 1518500249;
+        }} else {{
+            if (t < 40) {{
+                f = b ^ c ^ d;
+                k = 1859775393;
+            }} else {{
+                if (t < 60) {{
+                    f = (b & c) | (b & d) | (c & d);
+                    k = 2400959708;
+                }} else {{
+                    f = b ^ c ^ d;
+                    k = 3395469782;
+                }}
+            }}
+        }}
+        int temp = rotl5(a) + f + e + k + w[t];
+        e = d;
+        d = c;
+        c = rotl30(b);
+        b = a;
+        a = temp;
+    }}
+    h0 = h0 + a;
+    h1 = h1 + b;
+    h2 = h2 + c;
+    h3 = h3 + d;
+    h4 = h4 + e;
+}}
+
+int main() {{
+    h0 = 1732584193;
+    h1 = 4023233417;
+    h2 = 2562383102;
+    h3 = 271733878;
+    h4 = 3285377520;
+    for (int off = 0; off < {padded_len}; off = off + 64) {{
+        sha1_block(off);
+    }}
+    putw(h0);
+    putw(h1);
+    putw(h2);
+    putw(h3);
+    putw(h4);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _sha1_pad(message: bytes) -> bytes:
+    length = len(message)
+    padded = message + b"\x80"
+    while len(padded) % 64 != 56:
+        padded += b"\x00"
+    return padded + struct.pack(">Q", length * 8)
+
+
+def build() -> Workload:
+    message = bytes(rng("sha").randrange(256) for _ in range(_MSG_LEN))
+    padded = _sha1_pad(message)
+    digest = hashlib.sha1(message).digest()
+    out = Output()
+    for word in struct.unpack(">5I", digest):
+        out.putw(word)
+    source = _TEMPLATE.format(
+        padded_len=len(padded),
+        data=fmt_ints(list(padded)),
+    )
+    return Workload(
+        name="sha",
+        paper_name="sha",
+        paper_cycles=12_141_593,
+        description="SHA-1 digest of a 30-byte message (oracle: hashlib)",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,84 @@
+"""stringsearch workload (MiBench office/stringsearch equivalent).
+
+Boyer-Moore-Horspool search of several patterns in a text buffer (the
+skip table covers the 7-bit alphabet the text is drawn from).  This is the
+shortest benchmark in the paper's Table III and stays the shortest here.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, rng
+
+_TEXT_LEN = 80
+_PATTERNS = 2
+_PAT_LEN = 6
+
+_TEMPLATE = """\
+byte text[{text_len}] = {{{text}}};
+byte pats[{pats_len}] = {{{pats}}};
+int skip[128];
+
+int search(int pat_off, int plen) {{
+    for (int c = 0; c < 128; c = c + 1) {{
+        skip[c] = plen;
+    }}
+    for (int k = 0; k < plen - 1; k = k + 1) {{
+        skip[pats[pat_off + k]] = plen - 1 - k;
+    }}
+    int pos = 0;
+    while (pos + plen <= {text_len}) {{
+        int j = plen - 1;
+        while (j >= 0 && text[pos + j] == pats[pat_off + j]) {{
+            j = j - 1;
+        }}
+        if (j < 0) {{
+            return pos;
+        }}
+        pos = pos + skip[text[pos + plen - 1]];
+    }}
+    return -1;
+}}
+
+int main() {{
+    for (int p = 0; p < {patterns}; p = p + 1) {{
+        putd(search(p * {pat_len}, {pat_len}));
+    }}
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _search_reference(text: bytes, pattern: bytes) -> int:
+    idx = text.find(pattern)
+    return idx  # find returns -1 on miss, like the MiniC routine
+
+
+def build() -> Workload:
+    rand = rng("stringsearch")
+    # Lower-entropy alphabet so partial matches actually occur.
+    text = bytes(rand.randrange(ord("a"), ord("e")) for _ in range(_TEXT_LEN))
+    patterns = []
+    # One pattern guaranteed present, one likely absent.
+    start = rand.randrange(_TEXT_LEN - _PAT_LEN)
+    patterns.append(text[start:start + _PAT_LEN])
+    patterns.append(bytes(rand.randrange(ord("f"), ord("j")) for _ in range(_PAT_LEN)))
+    out = Output()
+    for pattern in patterns:
+        out.putd(_search_reference(text, pattern))
+    source = _TEMPLATE.format(
+        text_len=_TEXT_LEN,
+        pats_len=_PATTERNS * _PAT_LEN,
+        patterns=_PATTERNS,
+        pat_len=_PAT_LEN,
+        text=fmt_ints(list(text)),
+        pats=fmt_ints([b for p in patterns for b in p]),
+    )
+    return Workload(
+        name="stringsearch",
+        paper_name="stringSearch",
+        paper_cycles=1_082_451,
+        description="Boyer-Moore-Horspool search of 2 patterns in 120 bytes",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,94 @@
+"""susan corners workload (MiBench automotive/susan -c equivalent).
+
+SUSAN corner detection: each interior pixel's USAN (Univalue Segment
+Assimilating Nucleus) area is the count of 3x3 neighbours whose brightness
+is within a threshold of the nucleus; pixels whose area falls below the
+geometric threshold respond as corners.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, u32
+from repro.workloads._imagelib import make_image
+
+_WIDTH = 5
+_HEIGHT = 5
+_BRIGHT_THRESHOLD = 20
+_GEOMETRIC = 4
+
+_TEMPLATE = """\
+byte img[{npix}] = {{{img}}};
+
+int main() {{
+    int corners = 0;
+    int checksum = 0;
+    for (int y = 1; y < {height} - 1; y = y + 1) {{
+        for (int x = 1; x < {width} - 1; x = x + 1) {{
+            int centre = img[y * {width} + x];
+            int area = 0;
+            for (int dy = -1; dy <= 1; dy = dy + 1) {{
+                for (int dx = -1; dx <= 1; dx = dx + 1) {{
+                    if (dy != 0 || dx != 0) {{
+                        int d = img[(y + dy) * {width} + x + dx] - centre;
+                        if (d < 0) {{
+                            d = -d;
+                        }}
+                        if (d < {bright}) {{
+                            area = area + 1;
+                        }}
+                    }}
+                }}
+            }}
+            if (area < {geometric}) {{
+                int response = {geometric} - area;
+                corners = corners + 1;
+                checksum = checksum * 29 + response * (y * {width} + x);
+            }}
+        }}
+    }}
+    putd(corners);
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> Workload:
+    image = make_image("susan_c", _WIDTH, _HEIGHT)
+    corners = 0
+    checksum = 0
+    for y in range(1, _HEIGHT - 1):
+        for x in range(1, _WIDTH - 1):
+            centre = image[y * _WIDTH + x]
+            area = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dy == 0 and dx == 0:
+                        continue
+                    if abs(image[(y + dy) * _WIDTH + x + dx] - centre) < _BRIGHT_THRESHOLD:
+                        area += 1
+            if area < _GEOMETRIC:
+                response = _GEOMETRIC - area
+                corners += 1
+                checksum = u32(checksum * 29 + response * (y * _WIDTH + x))
+    out = Output()
+    out.putd(corners)
+    out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        npix=_WIDTH * _HEIGHT,
+        width=_WIDTH,
+        height=_HEIGHT,
+        bright=_BRIGHT_THRESHOLD,
+        geometric=_GEOMETRIC,
+        img=fmt_ints(image),
+    )
+    return Workload(
+        name="susan_c",
+        paper_name="susan_c",
+        paper_cycles=2_150_961,
+        description="SUSAN 3x3 corner detection on 10x10",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,97 @@
+"""susan edges workload (MiBench automotive/susan -e equivalent).
+
+SUSAN edge detection: like the corner detector but with the edge geometric
+threshold (3/4 of the maximum USAN area) and an accumulated edge-strength
+response map.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, Workload, fmt_ints, u32
+from repro.workloads._imagelib import make_image
+
+_WIDTH = 6
+_HEIGHT = 6
+_BRIGHT_THRESHOLD = 18
+_GEOMETRIC = 6  # 3/4 of the 8-neighbour USAN maximum
+
+_TEMPLATE = """\
+byte img[{npix}] = {{{img}}};
+
+int main() {{
+    int edges = 0;
+    int strength = 0;
+    int checksum = 0;
+    for (int y = 1; y < {height} - 1; y = y + 1) {{
+        for (int x = 1; x < {width} - 1; x = x + 1) {{
+            int centre = img[y * {width} + x];
+            int area = 0;
+            for (int dy = -1; dy <= 1; dy = dy + 1) {{
+                for (int dx = -1; dx <= 1; dx = dx + 1) {{
+                    if (dy != 0 || dx != 0) {{
+                        int d = img[(y + dy) * {width} + x + dx] - centre;
+                        if (d < 0) {{
+                            d = -d;
+                        }}
+                        if (d < {bright}) {{
+                            area = area + 1;
+                        }}
+                    }}
+                }}
+            }}
+            if (area < {geometric}) {{
+                int response = {geometric} - area;
+                edges = edges + 1;
+                strength = strength + response;
+                checksum = checksum * 43 + response + x * y;
+            }}
+        }}
+    }}
+    putd(edges);
+    putd(strength);
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> Workload:
+    image = make_image("susan_e", _WIDTH, _HEIGHT)
+    edges = strength = checksum = 0
+    for y in range(1, _HEIGHT - 1):
+        for x in range(1, _WIDTH - 1):
+            centre = image[y * _WIDTH + x]
+            area = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dy == 0 and dx == 0:
+                        continue
+                    if abs(image[(y + dy) * _WIDTH + x + dx] - centre) < _BRIGHT_THRESHOLD:
+                        area += 1
+            if area < _GEOMETRIC:
+                response = _GEOMETRIC - area
+                edges += 1
+                strength += response
+                checksum = u32(checksum * 43 + response + x * y)
+    out = Output()
+    out.putd(edges)
+    out.putd(strength)
+    out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        npix=_WIDTH * _HEIGHT,
+        width=_WIDTH,
+        height=_HEIGHT,
+        bright=_BRIGHT_THRESHOLD,
+        geometric=_GEOMETRIC,
+        img=fmt_ints(image),
+    )
+    return Workload(
+        name="susan_e",
+        paper_name="usan_e",
+        paper_cycles=2_876_202,
+        description="SUSAN 3x3 edge detection on 11x11",
+        source=source,
+        expected_output=out.bytes(),
+    )

@@ -1,0 +1,96 @@
+"""susan smoothing workload (MiBench automotive/susan -s equivalent).
+
+SUSAN structure-preserving smoothing: each interior pixel is replaced by a
+brightness-similarity-weighted average of its 3x3 neighbourhood, with the
+similarity weights coming from an exponential lookup table — the same
+shape as the original's ``exp(-(dI/t)^2)`` kernel, precomputed to integers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Output, Workload, fmt_ints, u32
+from repro.workloads._imagelib import make_image
+
+_WIDTH = 8
+_HEIGHT = 8
+_THRESHOLD = 27
+
+_TEMPLATE = """\
+byte img[{npix}] = {{{img}}};
+byte lut[256] = {{{lut}}};
+byte smoothed[{npix}];
+
+int main() {{
+    int checksum = 0;
+    for (int y = 1; y < {height} - 1; y = y + 1) {{
+        for (int x = 1; x < {width} - 1; x = x + 1) {{
+            int centre = img[y * {width} + x];
+            int total = 0;
+            int wsum = 0;
+            for (int dy = -1; dy <= 1; dy = dy + 1) {{
+                for (int dx = -1; dx <= 1; dx = dx + 1) {{
+                    int v = img[(y + dy) * {width} + x + dx];
+                    int d = v - centre;
+                    if (d < 0) {{
+                        d = -d;
+                    }}
+                    int w = lut[d];
+                    total = total + w * v;
+                    wsum = wsum + w;
+                }}
+            }}
+            int value = total / wsum;
+            smoothed[y * {width} + x] = value;
+            checksum = checksum * 31 + value;
+        }}
+        putw(checksum);
+    }}
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _similarity_lut() -> list[int]:
+    return [
+        max(0, min(255, round(100 * math.exp(-((d / _THRESHOLD) ** 2)))))
+        for d in range(256)
+    ]
+
+
+def build() -> Workload:
+    image = make_image("susan_s", _WIDTH, _HEIGHT)
+    lut = _similarity_lut()
+    out = Output()
+    checksum = 0
+    for y in range(1, _HEIGHT - 1):
+        for x in range(1, _WIDTH - 1):
+            centre = image[y * _WIDTH + x]
+            total = wsum = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    v = image[(y + dy) * _WIDTH + x + dx]
+                    w = lut[abs(v - centre)]
+                    total += w * v
+                    wsum += w
+            value = total // wsum
+            checksum = u32(checksum * 31 + value)
+        out.putw(checksum)
+
+    source = _TEMPLATE.format(
+        npix=_WIDTH * _HEIGHT,
+        width=_WIDTH,
+        height=_HEIGHT,
+        img=fmt_ints(image),
+        lut=fmt_ints(lut),
+    )
+    return Workload(
+        name="susan_s",
+        paper_name="susan s",
+        paper_cycles=13_750_557,
+        description="SUSAN similarity-weighted 3x3 smoothing on 14x14",
+        source=source,
+        expected_output=out.bytes(),
+    )

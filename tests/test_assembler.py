@@ -1,0 +1,194 @@
+"""Two-pass assembler: syntax, labels, pseudo-instructions, directives."""
+
+import struct
+
+import pytest
+
+from repro.errors import AsmError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode, encode
+from repro.isa.opcodes import Op
+from repro.isa.program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE
+
+
+def words(program):
+    return list(struct.unpack(f"<{len(program.text) // 4}I", program.text))
+
+
+def test_simple_program():
+    prog = assemble("""
+    .text
+    _start:
+        MOVI r0, #5
+        ADDI r0, r0, #1
+        HALT
+    """)
+    ws = words(prog)
+    assert ws[0] == encode(Op.MOVI, rd=0, imm=5)
+    assert ws[1] == encode(Op.ADDI, rd=0, rs1=0, imm=1)
+    assert ws[2] == encode(Op.HALT)
+    assert prog.entry == DEFAULT_TEXT_BASE
+
+
+def test_labels_and_branches():
+    prog = assemble("""
+    loop:
+        ADDI r1, r1, #1
+        BNE r1, r2, loop
+        B loop
+    """)
+    ws = words(prog)
+    # BNE at pc+4 jumping back one word.
+    assert decode(ws[1]).imm == -1
+    assert decode(ws[2]).imm == -2
+
+
+def test_forward_branch():
+    prog = assemble("""
+        BEQZ r0, done
+        NOP
+        NOP
+    done:
+        HALT
+    """)
+    assert decode(words(prog)[0]).imm == 3
+
+
+def test_data_section_and_la():
+    prog = assemble("""
+    .text
+        LA r1, table
+        LDR r2, [r1, #4]
+        HALT
+    .data
+    table: .word 10, 20, 30
+    """)
+    assert prog.symbols["table"] == DEFAULT_DATA_BASE
+    assert struct.unpack("<3I", prog.data) == (10, 20, 30)
+    ws = words(prog)
+    # LA expands to LUI+ORRI holding the data base address.
+    assert decode(ws[0]).op is Op.LUI
+    assert decode(ws[1]).op is Op.ORRI
+
+
+def test_word_directive_resolves_labels():
+    prog = assemble("""
+    .text
+    main:
+        HALT
+    .data
+    ptr: .word main
+    """)
+    assert struct.unpack("<I", prog.data)[0] == prog.symbols["main"]
+
+
+def test_byte_space_align():
+    prog = assemble("""
+    .text
+        HALT
+    .data
+    b: .byte 1, 2, 3
+       .align 4
+    buf: .space 8
+    """)
+    assert prog.data[:3] == bytes([1, 2, 3])
+    assert len(prog.data) == 12
+    assert prog.symbols["buf"] == DEFAULT_DATA_BASE + 4
+
+
+def test_movw_small_and_large():
+    prog = assemble("""
+        MOVW r1, #100
+        MOVW r2, #0x12345678
+        HALT
+    """)
+    ws = words(prog)
+    assert decode(ws[0]).op is Op.MOVI
+    assert decode(ws[1]).op is Op.LUI
+    assert decode(ws[2]).op is Op.ORRI
+    assert decode(ws[1]).imm == 0x1234
+    assert decode(ws[2]).imm == 0x5678
+
+
+def test_movw_negative_one_is_single_word():
+    prog = assemble("""
+        MOVW r1, #4294967295
+        HALT
+    """)
+    ws = words(prog)
+    assert decode(ws[0]).op is Op.MOVI
+    assert decode(ws[0]).imm == -1
+
+
+def test_pseudo_mov_and_ret():
+    prog = assemble("""
+        MOV r1, r2
+        RET
+    """)
+    ws = words(prog)
+    assert decode(ws[0]).op is Op.ADDI and decode(ws[0]).imm == 0
+    assert decode(ws[1]).op is Op.JR and decode(ws[1]).rs1 == 14
+
+
+def test_memory_operands():
+    prog = assemble("""
+        LDR r1, [sp]
+        STR r2, [sp, #-8]
+        LDRB r3, [r4, #1]
+        HALT
+    """)
+    ws = words(prog)
+    assert decode(ws[0]).imm == 0 and decode(ws[0]).rs1 == 13
+    assert decode(ws[1]).imm == -8
+    assert decode(ws[2]).op is Op.LDRB
+
+
+def test_comments_and_blank_lines():
+    prog = assemble("""
+    ; full-line comment
+        NOP   ; trailing comment
+        // another comment style
+        HALT
+    """)
+    assert len(words(prog)) == 2
+
+
+def test_entry_prefers_start_over_main():
+    prog = assemble("""
+    main:
+        NOP
+    _start:
+        HALT
+    """)
+    assert prog.entry == prog.symbols["_start"]
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AsmError, match="duplicate"):
+        assemble("x:\n NOP\nx:\n HALT\n")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AsmError, match="undefined"):
+        assemble("B nowhere\n")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AsmError, match="unknown mnemonic"):
+        assemble("FROB r1, r2\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AsmError, match="expects"):
+        assemble("ADD r1, r2\n")
+
+
+def test_instruction_in_data_section_rejected():
+    with pytest.raises(AsmError, match="outside .text"):
+        assemble(".data\nNOP\n")
+
+
+def test_branch_out_of_range_rejected():
+    source = "BEQ r0, r1, far\n" + "NOP\n" * 40000 + "far: HALT\n"
+    with pytest.raises(AsmError, match="out of range"):
+        assemble(source)

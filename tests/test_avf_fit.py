@@ -1,0 +1,222 @@
+"""AVF/FIT arithmetic, validated against the paper's own published numbers.
+
+Table V (weighted AVFs) + Table VI (MBU rates) + Table VII (raw FIT) +
+Table VIII (bit counts) are enough to recompute every number quoted around
+Figs. 7 and 8 — these tests feed the paper's data through our Eq. 2/3/4
+implementations and check we land on the paper's quoted results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.avf import (
+    ClassCounts,
+    FaultClass,
+    assessment_gap,
+    max_increase,
+    node_avf,
+    weighted_avf,
+    weighted_fraction,
+)
+from repro.core.fit import component_node_fit, cpu_fit_by_node
+from repro.core.targets import PAPER_COMPONENT_BITS
+from repro.core.technology import (
+    MBU_RATES,
+    RAW_FIT_PER_BIT,
+    TECHNOLOGY_NODES,
+    mbu_rates,
+    raw_fit_per_bit,
+)
+from repro.errors import ConfigError
+
+#: Paper Table V: component -> {cardinality -> weighted AVF}.
+PAPER_TABLE5 = {
+    "l1d": {1: 0.2032, 2: 0.2970, 3: 0.3628},
+    "l1i": {1: 0.1201, 2: 0.1957, 3: 0.2514},
+    "l2": {1: 0.1794, 2: 0.2483, 3: 0.3013},
+    "regfile": {1: 0.1095, 2: 0.1865, 3: 0.2301},
+    "itlb": {1: 0.5031, 2: 0.6291, 3: 0.6667},
+    "dtlb": {1: 0.5066, 2: 0.6177, 3: 0.6722},
+}
+
+
+# -- ClassCounts ---------------------------------------------------------------
+
+
+def test_class_counts_avf():
+    counts = ClassCounts(masked=80, sdc=10, crash=5, timeout=3, assertion=2)
+    assert counts.total == 100
+    assert counts.avf == pytest.approx(0.20)
+    assert counts.fraction(FaultClass.SDC) == pytest.approx(0.10)
+
+
+def test_class_counts_add_and_merge():
+    counts = ClassCounts()
+    counts.add(FaultClass.MASKED, 3)
+    counts.add(FaultClass.CRASH)
+    merged = counts.merged(ClassCounts(sdc=2))
+    assert (merged.masked, merged.crash, merged.sdc) == (3, 1, 2)
+
+
+def test_class_counts_json_round_trip():
+    counts = ClassCounts(masked=1, sdc=2, crash=3, timeout=4, assertion=5)
+    assert ClassCounts.from_dict(counts.as_dict()) == counts
+
+
+def test_empty_counts_have_zero_avf():
+    assert ClassCounts().avf == 0.0
+
+
+# -- Eq. 2: weighted AVF -----------------------------------------------------------
+
+
+def test_weighted_avf_weights_by_execution_time():
+    avfs = {"long": 0.5, "short": 0.1}
+    cycles = {"long": 900, "short": 100}
+    assert weighted_avf(avfs, cycles) == pytest.approx(0.46)
+
+
+def test_weighted_avf_reduces_to_mean_for_equal_times():
+    avfs = {"a": 0.2, "b": 0.4}
+    assert weighted_avf(avfs, {"a": 5, "b": 5}) == pytest.approx(0.3)
+
+
+def test_weighted_avf_missing_time_rejected():
+    with pytest.raises(ValueError, match="no execution time"):
+        weighted_avf({"a": 0.1}, {})
+
+
+def test_weighted_fraction():
+    counts = {
+        "a": ClassCounts(masked=5, sdc=5),
+        "b": ClassCounts(masked=9, sdc=1),
+    }
+    cycles = {"a": 100, "b": 100}
+    assert weighted_fraction(counts, cycles, FaultClass.SDC) == pytest.approx(0.3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(
+    st.sampled_from(["w1", "w2", "w3"]),
+    st.tuples(
+        st.floats(min_value=0, max_value=1),
+        st.integers(min_value=1, max_value=10**6),
+    ),
+    min_size=1,
+))
+def test_weighted_avf_stays_in_hull(data):
+    avfs = {k: v[0] for k, v in data.items()}
+    cycles = {k: v[1] for k, v in data.items()}
+    value = weighted_avf(avfs, cycles)
+    assert min(avfs.values()) - 1e-12 <= value <= max(avfs.values()) + 1e-12
+
+
+# -- Eq. 3 / Fig. 7: node aggregation, against the paper's quoted numbers ------------
+
+
+def test_node_avf_at_250nm_is_pure_single_bit():
+    for component, avfs in PAPER_TABLE5.items():
+        assert node_avf(avfs, "250nm") == pytest.approx(avfs[1])
+
+
+def test_paper_l1i_22nm_aggregate_and_gap():
+    """Paper (Fig. 7 caption): L1I 12% single-bit vs ~16% at 22nm, 33% gap."""
+    avfs = PAPER_TABLE5["l1i"]
+    assert node_avf(avfs, "22nm") == pytest.approx(0.1596, abs=0.002)
+    assert assessment_gap(avfs, "22nm") == pytest.approx(0.33, abs=0.01)
+
+
+def test_paper_gap_extremes_dtlb_and_regfile():
+    """Paper §V.B: gap ranges from ~11% (DTLB) to ~35% (register file)."""
+    assert assessment_gap(PAPER_TABLE5["dtlb"], "22nm") == pytest.approx(
+        0.11, abs=0.01
+    )
+    assert assessment_gap(PAPER_TABLE5["regfile"], "22nm") == pytest.approx(
+        0.355, abs=0.01
+    )
+
+
+def test_gap_grows_monotonically_with_density():
+    avfs = PAPER_TABLE5["l1d"]
+    gaps = [assessment_gap(avfs, node) for node in TECHNOLOGY_NODES]
+    assert gaps[0] == 0.0
+    assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(ConfigError):
+        node_avf({1: 0.1}, "7nm")
+    with pytest.raises(ConfigError):
+        raw_fit_per_bit("7nm")
+
+
+# -- max increase (Table IV definition) ------------------------------------------------
+
+
+def test_max_increase_picks_worst_workload():
+    single = {"a": 0.10, "b": 0.05}
+    triple = {"a": 0.20, "b": 0.16}
+    assert max_increase(single, triple) == pytest.approx(3.2)
+
+
+def test_max_increase_skips_zero_single():
+    assert max_increase({"a": 0.0}, {"a": 0.5}) == 0.0
+
+
+# -- Eq. 4 / Fig. 8: FIT ------------------------------------------------------------------
+
+
+def test_component_fit_formula():
+    fit = component_node_fit("l1d", {1: 0.2, 2: 0.0, 3: 0.0}, "250nm")
+    expected = 0.2 * 47e-8 * 262_144
+    assert fit.fit_total == pytest.approx(expected)
+    assert fit.fit_multibit == pytest.approx(0.0)
+
+
+def test_cpu_fit_shape_matches_paper():
+    """FIT peaks at 130nm then decreases; MBU share grows to ~20% at 22nm."""
+    fits = cpu_fit_by_node(PAPER_TABLE5)
+    totals = {node: fits[node].fit_total for node in TECHNOLOGY_NODES}
+    assert max(totals, key=totals.get) == "130nm"
+    assert totals["22nm"] < totals["32nm"] < totals["45nm"]
+    shares = [fits[node].multibit_share for node in TECHNOLOGY_NODES]
+    assert shares[0] == 0.0
+    assert all(b >= a for a, b in zip(shares, shares[1:]))
+    assert 0.15 < fits["22nm"].multibit_share < 0.25  # paper: ~21%
+
+
+def test_cpu_fit_dominated_by_l2():
+    fits = cpu_fit_by_node(PAPER_TABLE5)
+    at_22 = {c.component: c.fit_total for c in fits["22nm"].components}
+    assert at_22["l2"] > sum(v for k, v in at_22.items() if k != "l2")
+
+
+# -- technology tables ----------------------------------------------------------------------
+
+
+def test_mbu_rates_sum_to_one():
+    for node, rates in MBU_RATES.items():
+        assert sum(rates) == pytest.approx(1.0), node
+
+
+def test_mbu_rates_single_bit_fraction_decreases():
+    singles = [MBU_RATES[node][0] for node in TECHNOLOGY_NODES]
+    assert all(b <= a for a, b in zip(singles, singles[1:]))
+
+
+def test_raw_fit_peaks_at_130nm():
+    assert max(RAW_FIT_PER_BIT, key=RAW_FIT_PER_BIT.get) == "130nm"
+
+
+def test_all_nodes_present_in_both_tables():
+    assert set(MBU_RATES) == set(TECHNOLOGY_NODES)
+    assert set(RAW_FIT_PER_BIT) == set(TECHNOLOGY_NODES)
+    assert mbu_rates("250nm") == (1.0, 0.0, 0.0)
+
+
+def test_paper_component_bits_match_table8():
+    assert PAPER_COMPONENT_BITS["l1d"] == 32 * 1024 * 8
+    assert PAPER_COMPONENT_BITS["l2"] == 512 * 1024 * 8
+    assert PAPER_COMPONENT_BITS["regfile"] == 2112
+    assert PAPER_COMPONENT_BITS["itlb"] == 1024

@@ -1,0 +1,152 @@
+"""Cache hierarchy: hits, LRU, write-back, injection geometry."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache
+from repro.mem.physmem import PhysicalMemory
+
+
+def make_l1(mem=None, size=256, assoc=4):
+    mem = mem or PhysicalMemory(8192, latency=50)
+    return Cache("l1", size, assoc, 32, 2, mem), mem
+
+
+def test_read_miss_then_hit():
+    cache, mem = make_l1()
+    mem.write(0x100, b"\xAA\xBB\xCC\xDD")
+    data, lat1 = cache.read(0x100, 4)
+    assert data == b"\xAA\xBB\xCC\xDD"
+    assert lat1 > cache.hit_latency  # cold miss
+    data, lat2 = cache.read(0x100, 4)
+    assert data == b"\xAA\xBB\xCC\xDD"
+    assert lat2 == cache.hit_latency
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_write_allocates_and_dirties():
+    cache, mem = make_l1()
+    cache.write(0x40, b"\x01\x02\x03\x04")
+    assert cache.read(0x40, 4)[0] == b"\x01\x02\x03\x04"
+    # Memory not updated until eviction (write-back).
+    assert mem.read(0x40, 4) == b"\x00\x00\x00\x00"
+
+
+def test_dirty_eviction_writes_back():
+    cache, mem = make_l1(size=128, assoc=1)  # 4 sets, direct-mapped
+    cache.write(0x0, b"\xEE" * 4)
+    # Conflict: same set (addresses 128 bytes apart with 4 sets of 32B).
+    cache.read(0x80, 4)
+    assert mem.read(0x0, 4) == b"\xEE" * 4
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_discards_corruption():
+    """A flipped bit in a clean line vanishes on eviction (masking path)."""
+    cache, mem = make_l1(size=128, assoc=1)
+    mem.write(0x0, b"\x10\x20\x30\x40")
+    cache.read(0x0, 4)
+    cache.flip_bit(0, 0)  # corrupt the resident clean line
+    cache.read(0x80, 4)   # evict it (clean: no write-back)
+    assert mem.read(0x0, 4) == b"\x10\x20\x30\x40"
+    assert cache.read(0x0, 4)[0] == b"\x10\x20\x30\x40"  # refetched clean
+
+
+def test_dirty_corruption_propagates():
+    """A flipped bit in a dirty line infects memory on write-back."""
+    cache, mem = make_l1(size=128, assoc=1)
+    cache.write(0x0, b"\x10\x20\x30\x40")
+    cache.flip_bit(0, 0)  # flip LSB of byte 0
+    cache.read(0x80, 4)
+    assert mem.read(0x0, 4) == b"\x11\x20\x30\x40"
+
+
+def test_lru_replacement_order():
+    cache, mem = make_l1(size=128, assoc=4)  # one set of 4 ways
+    for i in range(4):
+        cache.read(i * 32, 4)
+    cache.read(0, 4)          # touch line 0: now MRU
+    cache.read(4 * 32, 4)     # evicts LRU = line at 32
+    assert cache.probe(0) is not None
+    assert cache.probe(32) is None
+    assert cache.probe(4 * 32) is not None
+
+
+def test_two_level_latency_accumulates():
+    mem = PhysicalMemory(8192, latency=50)
+    l2 = Cache("l2", 1024, 8, 32, 8, mem)
+    l1 = Cache("l1", 256, 4, 32, 2, l2)
+    _, cold = l1.read(0x200, 4)
+    assert cold == 2 + 8 + 50
+    l1_evicting = Cache("l1b", 256, 4, 32, 2, l2)
+    _, warm = l1_evicting.read(0x200, 4)  # L2 now holds the line
+    assert warm == 2 + 8
+
+
+def test_inject_geometry_matches_table():
+    cache, _ = make_l1(size=256, assoc=4)
+    assert cache.inject_rows == 8
+    assert cache.inject_cols == 256
+    assert cache.inject_rows * cache.inject_cols == 256 * 8
+
+
+def test_flip_bit_round_trip():
+    cache, _ = make_l1()
+    assert cache.read_bit(3, 17) == 0
+    cache.flip_bit(3, 17)
+    assert cache.read_bit(3, 17) == 1
+    cache.flip_bit(3, 17)
+    assert cache.read_bit(3, 17) == 0
+
+
+def test_straddling_access_rejected():
+    cache, _ = make_l1()
+    with pytest.raises(ValueError, match="straddles"):
+        cache.read(30, 4)
+
+
+def test_flush_all_writes_back_everything():
+    cache, mem = make_l1()
+    cache.write(0x20, b"\x05\x06\x07\x08")
+    cache.flush_all()
+    assert mem.read(0x20, 4) == b"\x05\x06\x07\x08"
+    assert cache.probe(0x20) is None
+
+
+def test_bad_configuration_rejected():
+    mem = PhysicalMemory(8192)
+    with pytest.raises(ValueError, match="not divisible"):
+        Cache("x", 100, 4, 32, 1, mem)
+    with pytest.raises(ValueError, match="power of two"):
+        Cache("x", 96 * 32, 32, 32, 1, mem)  # 3 sets
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_access_sequence_matches_flat_memory(seed):
+    """Property: a cache hierarchy is semantically a flat memory."""
+    rng = random.Random(seed)
+    mem = PhysicalMemory(4096, latency=10)
+    l2 = Cache("l2", 512, 8, 32, 4, mem)
+    l1 = Cache("l1", 128, 2, 32, 1, l2)
+    model = bytearray(4096)
+    for _ in range(200):
+        addr = rng.randrange(0, 4096 - 4)
+        if rng.random() < 0.5:
+            size = rng.choice([1, 4])
+            addr &= ~(size - 1)
+            if addr % 32 + size > 32:
+                continue
+            payload = bytes(rng.randrange(256) for _ in range(size))
+            l1.write(addr, payload)
+            model[addr:addr + size] = payload
+        else:
+            size = rng.choice([1, 4])
+            addr &= ~(size - 1)
+            if addr % 32 + size > 32:
+                continue
+            data, _ = l1.read(addr, size)
+            assert data == bytes(model[addr:addr + size])

@@ -1,0 +1,77 @@
+"""Checkpointed injection must be bit-identical to direct simulation."""
+
+import random
+
+from repro.core.campaign import (
+    CheckpointedWorkload,
+    golden_run,
+    run_one_injection,
+)
+from repro.core.generator import MultiBitFaultGenerator
+from repro.kernel.status import RunStatus
+from repro.workloads import get_workload
+
+WORKLOAD = "susan_c"  # small and fast
+
+
+def test_snapshot_resumes_exactly():
+    workload = get_workload(WORKLOAD)
+    golden = golden_run(workload)
+    checkpoints = CheckpointedWorkload(workload, snapshots=8)
+    system = checkpoints.system_at(golden.cycles // 2)
+    assert system.cycle <= golden.cycles // 2
+    assert system.run_until(golden.cycles // 2, golden.cycles + 10)
+    result = system.run(4 * golden.cycles)
+    assert result.status is RunStatus.FINISHED
+    assert result.cycles == golden.cycles
+    assert result.output == golden.output
+
+
+def test_snapshot_at_cycle_zero_is_fresh_system():
+    workload = get_workload(WORKLOAD)
+    checkpoints = CheckpointedWorkload(workload, snapshots=4)
+    system = checkpoints.system_at(0)
+    assert system.cycle == 0
+
+
+def test_snapshots_are_isolated():
+    """Cloned systems must not share mutable state with the snapshot."""
+    workload = get_workload(WORKLOAD)
+    golden = golden_run(workload)
+    checkpoints = CheckpointedWorkload(workload, snapshots=4)
+    cycle = golden.cycles // 2
+    first = checkpoints.system_at(cycle)
+    # Wreck the first clone thoroughly.
+    first.core.prf.values[:] = [0] * len(first.core.prf.values)
+    first.l1d.flip_bit(0, 0)
+    first.dtlb.flip_bit(0, 5)
+    # A second clone from the same snapshot must still run clean.
+    second = checkpoints.system_at(cycle)
+    second.run_until(cycle, golden.cycles + 10)
+    result = second.run(4 * golden.cycles)
+    assert result.status is RunStatus.FINISHED
+    assert result.output == golden.output
+
+
+def test_checkpointed_injection_matches_direct():
+    workload = get_workload(WORKLOAD)
+    golden = golden_run(workload)
+    checkpoints = CheckpointedWorkload(workload, snapshots=8)
+    rng = random.Random(77)
+    for trial in range(6):
+        cycle = rng.randrange(golden.cycles)
+        component = rng.choice(["l1d", "l1i", "itlb", "regfile"])
+        direct = run_one_injection(
+            workload, component,
+            MultiBitFaultGenerator(seed=trial), 3, cycle,
+        )
+        fast = run_one_injection(
+            workload, component,
+            MultiBitFaultGenerator(seed=trial), 3, cycle,
+            checkpoints=checkpoints,
+        )
+        assert direct[0] is fast[0]               # same fault class
+        assert direct[2] == fast[2]               # same mask
+        assert direct[1].cycles == fast[1].cycles  # same timing
+        assert direct[1].output == fast[1].output  # same output
+        assert direct[1].status == fast[1].status

@@ -1,0 +1,114 @@
+"""Fault-effect classification and the Leveugle sampling statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import FaultClass, classify
+from repro.core.sampling import error_margin, fault_population, sample_size
+from repro.kernel.status import RunResult, RunStatus
+
+
+def result(status, output=b"ok", exit_code=0):
+    return RunResult(status=status, cycles=100, instructions=80,
+                     output=output, exit_code=exit_code)
+
+
+GOLDEN = result(RunStatus.FINISHED)
+
+
+def test_identical_run_is_masked():
+    assert classify(result(RunStatus.FINISHED), GOLDEN) is FaultClass.MASKED
+
+
+def test_different_output_is_sdc():
+    faulty = result(RunStatus.FINISHED, output=b"corrupted")
+    assert classify(faulty, GOLDEN) is FaultClass.SDC
+
+
+def test_different_exit_code_is_sdc():
+    faulty = result(RunStatus.FINISHED, exit_code=1)
+    assert classify(faulty, GOLDEN) is FaultClass.SDC
+
+
+@pytest.mark.parametrize("status,expected", [
+    (RunStatus.CRASH_PROCESS, FaultClass.CRASH),
+    (RunStatus.CRASH_KERNEL, FaultClass.CRASH),
+    (RunStatus.TIMEOUT_DEADLOCK, FaultClass.TIMEOUT),
+    (RunStatus.TIMEOUT_LIVELOCK, FaultClass.TIMEOUT),
+    (RunStatus.SIM_ASSERT, FaultClass.ASSERT),
+])
+def test_status_mapping(status, expected):
+    assert classify(result(status), GOLDEN) is expected
+
+
+# -- sampling ------------------------------------------------------------------
+
+
+def test_paper_sample_size_gives_paper_margin():
+    """2,000 samples <-> 2.88% error at 99% confidence (paper §III.A)."""
+    population = fault_population(bits=262_144, cycles=10_000_000)
+    margin = error_margin(population, 2000, confidence=0.99)
+    assert margin == pytest.approx(0.0288, abs=0.0003)
+    needed = sample_size(population, 0.0288, confidence=0.99)
+    assert 1990 <= needed <= 2010
+
+
+def test_reestimated_margin_tightens_with_lower_p():
+    """Post-campaign re-estimation with measured AVF (paper: 2.4%-2.88%)."""
+    population = fault_population(bits=262_144, cycles=10_000_000)
+    margin = error_margin(population, 2000, confidence=0.99, p=0.3)
+    assert margin < 0.0288
+    assert margin == pytest.approx(0.0264, abs=0.0005)
+
+
+def test_small_population_needs_fewer_samples():
+    assert sample_size(1000, 0.05) < 1000
+    assert sample_size(10, 0.01) <= 10
+
+
+def test_error_margin_zero_when_census():
+    assert error_margin(500, 500) == 0.0
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        sample_size(0, 0.05)
+    with pytest.raises(ValueError):
+        sample_size(100, 1.5)
+    with pytest.raises(ValueError):
+        error_margin(100, 0)
+    with pytest.raises(ValueError):
+        error_margin(100, 200)
+    with pytest.raises(ValueError):
+        error_margin(100, 10, confidence=1.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    population=st.integers(min_value=10_000, max_value=10**12),
+    samples=st.integers(min_value=10, max_value=2000),
+)
+def test_margin_decreases_with_more_samples(population, samples):
+    wider = error_margin(population, samples)
+    tighter = error_margin(population, samples * 2)
+    assert tighter < wider
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    population=st.integers(min_value=10_000, max_value=10**12),
+    margin=st.floats(min_value=0.01, max_value=0.2),
+)
+def test_sample_size_inverts_error_margin(population, margin):
+    n = sample_size(population, margin)
+    achieved = error_margin(population, n)
+    assert achieved <= margin + 1e-9
+
+
+def test_fault_population_scales_with_cardinality_patterns():
+    single = fault_population(1024, 1000, cardinality=1)
+    double = fault_population(1024, 1000, cardinality=2)
+    triple = fault_population(1024, 1000, cardinality=3)
+    assert double > single  # C(9,2)=36 patterns vs 9
+    assert triple > double  # C(9,3)=84

@@ -1,0 +1,299 @@
+"""Out-of-order core: architectural behaviour through assembly programs."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.kernel.status import CrashReason, RunStatus
+from repro.cpu.config import CoreConfig
+from repro.cpu.system import System, run_program
+
+
+def run_asm(source, max_cycles=200_000):
+    return run_program(assemble(source), max_cycles=max_cycles)
+
+
+def test_arithmetic_pipeline():
+    result = run_asm("""
+    _start:
+        MOVI r1, #6
+        MOVI r2, #7
+        MUL  r3, r1, r2
+        MOV  r0, r3
+        SYS  #3
+        MOVI r0, #0
+        SYS  #0
+    """)
+    assert result.status is RunStatus.FINISHED
+    assert result.output == b"42\n"
+
+
+def test_dependent_chain_correctness():
+    result = run_asm("""
+    _start:
+        MOVI r1, #1
+        ADDI r1, r1, #1
+        ADDI r1, r1, #1
+        ADDI r1, r1, #1
+        MOV  r0, r1
+        SYS  #3
+        SYS  #0
+    """)
+    assert result.output == b"4\n"
+
+
+def test_backward_branch_loop():
+    result = run_asm("""
+    _start:
+        MOVI r1, #0
+        MOVI r2, #100
+    loop:
+        ADDI r1, r1, #1
+        BLT  r1, r2, loop
+        MOV  r0, r1
+        SYS  #3
+        SYS  #0
+    """)
+    assert result.output == b"100\n"
+    assert result.stats["mispredicts"] >= 1  # final not-taken iteration
+
+
+def test_forward_branch_prediction_recovers():
+    result = run_asm("""
+    _start:
+        MOVI r1, #5
+        MOVI r2, #5
+        BEQ  r1, r2, taken       ; forward: predicted not-taken, mispredicts
+        MOVI r0, #111
+        SYS  #3
+        SYS  #0
+    taken:
+        MOVI r0, #222
+        SYS  #3
+        SYS  #0
+    """)
+    assert result.output == b"222\n"
+    assert result.stats["mispredicts"] >= 1
+    assert result.stats["squashed"] >= 1
+
+
+def test_store_load_forwarding():
+    result = run_asm("""
+    _start:
+        LA   r1, slot
+        MOVI r2, #77
+        STR  r2, [r1]
+        LDR  r3, [r1]            ; must see the in-flight store
+        MOV  r0, r3
+        SYS  #3
+        SYS  #0
+    .data
+    slot: .word 0
+    """)
+    assert result.output == b"77\n"
+
+
+def test_byte_store_word_load_waits_for_commit():
+    result = run_asm("""
+    _start:
+        LA   r1, slot
+        MOVI r2, #0xAB
+        STRB r2, [r1, #1]
+        LDR  r3, [r1]            ; partial overlap: stalls until commit
+        MOV  r0, r3
+        SYS  #1
+        SYS  #0
+    .data
+    slot: .word 0
+    """)
+    assert result.output == b"0000ab00\n"
+
+
+def test_function_call_and_return():
+    result = run_asm("""
+    _start:
+        MOVI r0, #20
+        BL   double
+        SYS  #3
+        SYS  #0
+    double:
+        ADD  r0, r0, r0
+        RET
+    """)
+    assert result.output == b"40\n"
+
+
+def test_illegal_instruction_crashes():
+    result = run_asm("""
+    _start:
+        .word 0                  ; all-zero word: illegal opcode
+        HALT
+    """)
+    assert result.status is RunStatus.CRASH_PROCESS
+    assert result.crash_reason is CrashReason.ILLEGAL_INSTRUCTION
+
+
+def test_div_by_zero_crashes():
+    result = run_asm("""
+    _start:
+        MOVI r1, #1
+        MOVI r2, #0
+        DIV  r3, r1, r2
+        HALT
+    """)
+    assert result.status is RunStatus.CRASH_PROCESS
+    assert result.crash_reason is CrashReason.DIV_ZERO
+
+
+def test_misaligned_load_crashes():
+    result = run_asm("""
+    _start:
+        LA   r1, slot
+        LDR  r2, [r1, #2]
+        HALT
+    .data
+    slot: .word 0
+    """)
+    assert result.status is RunStatus.CRASH_PROCESS
+    assert result.crash_reason is CrashReason.MISALIGNED
+
+
+def test_unmapped_load_page_faults():
+    result = run_asm("""
+    _start:
+        MOVW r1, #0x00300000
+        LDR  r2, [r1]
+        HALT
+    """)
+    assert result.status is RunStatus.CRASH_PROCESS
+    assert result.crash_reason is CrashReason.PAGE_FAULT
+
+
+def test_store_to_text_protection_faults():
+    result = run_asm("""
+    _start:
+        MOVW r1, #0x00010000
+        MOVI r2, #1
+        STR  r2, [r1]
+        HALT
+    """)
+    assert result.status is RunStatus.CRASH_PROCESS
+    assert result.crash_reason is CrashReason.PROT_FAULT
+
+
+def test_jump_to_garbage_crashes():
+    result = run_asm("""
+    _start:
+        MOVW r1, #0x00700000
+        JR   r1
+    """)
+    assert result.status is RunStatus.CRASH_PROCESS
+
+
+def test_wrong_path_fault_does_not_crash():
+    """A load on a mispredicted path must never take down the run."""
+    result = run_asm("""
+    _start:
+        MOVI r1, #0
+        MOVW r4, #0x00300000     ; unmapped address
+        BEQZ r1, safe            ; forward: predicted not-taken (wrong)
+        LDR  r5, [r4]            ; wrong-path load, would page-fault
+        HALT
+    safe:
+        MOVI r0, #9
+        SYS  #3
+        SYS  #0
+    """)
+    assert result.status is RunStatus.FINISHED
+    assert result.output == b"9\n"
+
+
+def test_livelock_times_out():
+    result = run_asm("""
+    _start:
+        MOVI r1, #0
+    spin:
+        ADDI r1, r1, #1
+        B    spin
+    """, max_cycles=20_000)
+    assert result.status is RunStatus.TIMEOUT_LIVELOCK
+
+
+def test_recursive_stack_overflow_crashes():
+    result = run_asm("""
+    _start:
+        BL   recurse
+        HALT
+    recurse:
+        ADDI sp, sp, #-8
+        STR  lr, [sp]
+        BL   recurse
+        LDR  lr, [sp]
+        ADDI sp, sp, #8
+        RET
+    """, max_cycles=500_000)
+    assert result.status is RunStatus.CRASH_PROCESS
+    assert result.crash_reason is CrashReason.PAGE_FAULT
+
+
+def test_ipc_is_plausible():
+    result = run_asm("""
+    _start:
+        MOVI r1, #0
+        MOVI r2, #200
+    loop:
+        ADDI r3, r1, #1
+        ADDI r4, r1, #2
+        ADDI r1, r1, #1
+        BLT  r1, r2, loop
+        SYS  #0
+    """)
+    assert result.status is RunStatus.FINISHED
+    assert 0.3 < result.ipc <= 4.0
+
+
+def test_stats_accumulate():
+    result = run_asm("""
+    _start:
+        LA   r1, slot
+        MOVI r2, #5
+        STR  r2, [r1]
+        LDR  r3, [r1]
+        SYS  #0
+    .data
+    slot: .word 0
+    """)
+    assert result.stats["stores"] == 1
+    assert result.stats["loads"] == 1
+    assert result.stats["syscalls"] == 1
+    assert result.instructions == result.stats["committed"]
+
+
+def test_custom_config_validation():
+    with pytest.raises(Exception):
+        CoreConfig(phys_regs=10).validate()
+
+
+def test_system_injectable_targets_names():
+    system = System()
+    targets = system.injectable_targets()
+    assert set(targets) == {"l1d", "l1i", "l2", "regfile", "dtlb", "itlb"}
+    for target in targets.values():
+        assert target.inject_rows >= 3 and target.inject_cols >= 3
+
+
+def test_run_until_reaches_cycle():
+    system = System()
+    system.load(assemble("""
+    _start:
+        MOVI r1, #0
+        MOVI r2, #1000
+    loop:
+        ADDI r1, r1, #1
+        BLT  r1, r2, loop
+        SYS  #0
+    """))
+    assert system.run_until(200, 100_000)
+    assert system.cycle >= 200
+    assert not system.finished
+    result = system.run(100_000)
+    assert result.status is RunStatus.FINISHED

@@ -1,0 +1,230 @@
+"""Pipeline stress: resource exhaustion, misprediction storms, odd shapes.
+
+These scenarios push the window structures (ROB/IQ/LSQ/free list) to their
+limits and check the machine still computes the architecturally correct
+result — the cases where an out-of-order model usually breaks.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.kernel.status import RunStatus
+from repro.cpu.config import CoreConfig
+from repro.cpu.system import System, run_program
+
+
+def run_asm(source, cfg=None, max_cycles=2_000_000):
+    system = System(cfg) if cfg else System()
+    system.load(assemble(source))
+    return system.run(max_cycles)
+
+
+def test_free_list_pressure_long_independent_chain():
+    """More independent writers in flight than free physical registers."""
+    body = "\n".join(
+        f"    MOVI r{1 + i % 10}, #{i}" for i in range(120)
+    )
+    source = f"""
+_start:
+{body}
+    MOVI r0, #119
+    SYS  #3
+    SYS  #0
+"""
+    result = run_asm(source)
+    assert result.status is RunStatus.FINISHED
+    assert result.output == b"119\n"
+
+
+def test_rob_wraparound_many_instructions():
+    source = """
+_start:
+    MOVI r1, #0
+    MOVI r2, #0
+loop:
+    ADDI r2, r2, #3
+    ADDI r2, r2, #-1
+    ADDI r1, r1, #1
+    MOVI r3, #500
+    BLT  r1, r3, loop
+    MOV  r0, r2
+    SYS  #3
+    SYS  #0
+"""
+    result = run_asm(source)
+    assert result.output == b"1000\n"
+
+
+def test_misprediction_storm_alternating_branches():
+    """A data-dependent alternating branch defeats the static predictor."""
+    source = """
+_start:
+    MOVI r1, #0       ; i
+    MOVI r2, #0       ; acc
+    MOVI r4, #64
+loop:
+    ANDI r3, r1, #1
+    BEQZ r3, even
+    ADDI r2, r2, #2
+    B    next
+even:
+    ADDI r2, r2, #1
+next:
+    ADDI r1, r1, #1
+    BLT  r1, r4, loop
+    MOV  r0, r2
+    SYS  #3
+    SYS  #0
+"""
+    result = run_asm(source)
+    assert result.output == b"96\n"
+    assert result.stats["mispredicts"] >= 30
+    assert result.stats["squashed"] > 0
+
+
+def test_store_queue_pressure():
+    """More stores in flight than SQ entries."""
+    stores = "\n".join(
+        f"    STR r2, [r1, #{4 * i}]" for i in range(24)
+    )
+    source = f"""
+_start:
+    LA   r1, buf
+    MOVI r2, #7
+{stores}
+    LDR  r0, [r1, #92]
+    SYS  #3
+    SYS  #0
+.data
+buf: .space 96
+"""
+    result = run_asm(source)
+    assert result.output == b"7\n"
+
+
+def test_load_queue_pressure():
+    loads = "\n".join(
+        f"    LDR r{2 + i % 8}, [r1, #{4 * (i % 8)}]" for i in range(24)
+    )
+    source = f"""
+_start:
+    LA   r1, tab
+{loads}
+    LDR  r0, [r1, #28]
+    SYS  #3
+    SYS  #0
+.data
+tab: .word 0, 1, 2, 3, 4, 5, 6, 77
+"""
+    result = run_asm(source)
+    assert result.output == b"77\n"
+
+
+def test_dependent_loads_pointer_chase():
+    source = """
+_start:
+    LA   r1, n0
+chase:
+    LDR  r2, [r1, #4]
+    LDR  r1, [r1]
+    BNEZ r1, chase
+    MOV  r0, r2
+    SYS  #3
+    SYS  #0
+.data
+n0: .word n1, 10
+n1: .word n2, 20
+n2: .word 0, 30
+"""
+    result = run_asm(source)
+    assert result.output == b"30\n"
+
+
+def test_narrow_inorder_like_config_correctness():
+    cfg = CoreConfig(
+        fetch_width=1, rename_width=1, issue_width=1,
+        writeback_width=1, commit_width=1,
+        rob_entries=4, iq_entries=2, lq_entries=2, sq_entries=2,
+    )
+    source = """
+_start:
+    MOVI r1, #6
+    MOVI r2, #7
+    MUL  r3, r1, r2
+    MOV  r0, r3
+    SYS  #3
+    SYS  #0
+"""
+    wide = run_asm(source)
+    narrow = run_asm(source, cfg=cfg)
+    assert narrow.output == wide.output == b"42\n"
+    assert narrow.cycles > wide.cycles  # no ILP on the narrow machine
+
+
+def test_wide_config_is_not_slower():
+    cfg = CoreConfig(issue_width=8, writeback_width=8, commit_width=8)
+    source = """
+_start:
+    MOVI r1, #0
+    MOVI r4, #300
+loop:
+    ADDI r2, r1, #1
+    ADDI r3, r1, #2
+    ADDI r5, r1, #3
+    ADDI r1, r1, #1
+    BLT  r1, r4, loop
+    SYS  #0
+"""
+    base = run_asm(source)
+    wide = run_asm(source, cfg=cfg)
+    assert wide.status is RunStatus.FINISHED
+    assert wide.cycles <= base.cycles
+
+
+def test_deep_call_chain_within_stack():
+    source = """
+_start:
+    MOVI r0, #40
+    BL   down
+    SYS  #3
+    SYS  #0
+down:
+    ADDI sp, sp, #-8
+    STR  lr, [sp]
+    BEQZ r0, base
+    ADDI r0, r0, #-1
+    BL   down
+    ADDI r0, r0, #1
+base:
+    LDR  lr, [sp]
+    ADDI sp, sp, #8
+    RET
+"""
+    result = run_asm(source)
+    assert result.output == b"40\n"
+
+
+def test_self_modifying_style_data_read_of_text_is_allowed():
+    """Text pages are readable (PC-relative constants), just not writable."""
+    source = """
+_start:
+    MOVW r1, #0x00010000
+    LDR  r2, [r1]          ; read the first instruction word
+    MOV  r0, r2
+    SYS  #1
+    SYS  #0
+"""
+    result = run_asm(source)
+    assert result.status is RunStatus.FINISHED
+    assert result.output != b"00000000\n"
+
+
+def test_result_is_deterministic_across_runs():
+    from repro.workloads import get_workload
+
+    program = get_workload("stringsearch").program()
+    first = run_program(program)
+    second = run_program(program)
+    assert first.cycles == second.cycles
+    assert first.output == second.output
+    assert first.stats == second.stats

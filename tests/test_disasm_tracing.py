@@ -1,0 +1,159 @@
+"""Disassembler and commit tracer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.encoding import decode, encode
+from repro.isa.opcodes import Op
+from repro.kernel.status import RunStatus
+from repro.cpu.system import System
+from repro.cpu.tracing import CommitTracer
+
+PROGRAM = """
+_start:
+    MOVI r1, #3
+    MOVI r2, #4
+    ADD  r3, r1, r2
+    MOV  r0, r3
+    SYS  #3
+    SYS  #0
+"""
+
+
+def test_disassemble_basic_forms():
+    assert disassemble(encode(Op.ADD, rd=3, rs1=1, rs2=2)) == "add r3, r1, r2"
+    assert disassemble(encode(Op.MOVI, rd=1, imm=-5)) == "movi r1, #-5"
+    assert disassemble(encode(Op.LDR, rd=2, rs1=13, imm=8)) == "ldr r2, [sp, #8]"
+    assert disassemble(encode(Op.STRB, rd=2, rs1=4, imm=-1)) == "strb r2, [r4, #-1]"
+    assert disassemble(encode(Op.SYS, imm=3)) == "sys #3"
+    assert disassemble(encode(Op.JR, rs1=14)) == "jr lr"
+    assert disassemble(encode(Op.HALT)) == "halt"
+
+
+def test_disassemble_branch_targets():
+    word = encode(Op.BEQ, rd=1, rs1=2, imm=-4)
+    assert disassemble(word) == "beq r1, r2, .-4"
+    assert disassemble(word, pc=0x1000) == "beq r1, r2, 0x00000ff0"
+    assert disassemble(encode(Op.BNEZ, rd=3, imm=2), pc=0x100) == (
+        "bnez r3, 0x00000108"
+    )
+
+
+def test_disassemble_illegal():
+    text = disassemble(0)
+    assert "illegal" in text and "0x00000000" in text
+
+
+def test_disassemble_program_lines():
+    program = assemble(PROGRAM)
+    lines = disassemble_program(program.text, program.text_base)
+    assert len(lines) == program.num_instructions
+    assert lines[0].endswith("movi r1, #3")
+    assert lines[0].startswith("0x00010000:")
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_disassemble_is_total(word):
+    text = disassemble(word)
+    assert isinstance(text, str) and text
+
+
+def test_disassembly_reassembles_to_same_word():
+    """Non-control instructions round-trip through the assembler."""
+    for op, kwargs in [
+        (Op.ADD, dict(rd=1, rs1=2, rs2=3)),
+        (Op.ADDI, dict(rd=4, rs1=5, imm=-7)),
+        (Op.MOVI, dict(rd=6, imm=100)),
+        (Op.LDR, dict(rd=7, rs1=8, imm=12)),
+        (Op.STR, dict(rd=9, rs1=10, imm=-4)),
+        (Op.EOR, dict(rd=11, rs1=12, rs2=13)),
+    ]:
+        word = encode(op, **kwargs)
+        source = f"_start:\n    {disassemble(word)}\n"
+        program = assemble(source)
+        assert int.from_bytes(program.text[:4], "little") == word
+
+
+# -- tracer ------------------------------------------------------------------------
+
+
+def run_traced(source):
+    system = System()
+    system.load(assemble(source))
+    tracer = CommitTracer(system.core)
+    result = system.run(1_000_000)
+    return tracer, result
+
+
+def test_tracer_records_committed_instructions():
+    tracer, result = run_traced(PROGRAM)
+    assert result.status is RunStatus.FINISHED
+    assert len(tracer.records) == result.instructions
+    assert tracer.records[0].asm == "movi r1, #3"
+    assert tracer.records[0].dest == "r1"
+    assert tracer.records[0].value == 3
+    add = next(r for r in tracer.records if r.asm.startswith("add"))
+    assert add.value == 7
+
+
+def test_tracer_histogram():
+    tracer, _ = run_traced(PROGRAM)
+    histogram = tracer.mnemonic_histogram()
+    assert histogram["movi"] == 2
+    # The exiting SYS terminates the run before being counted/recorded.
+    assert histogram["sys"] == 1
+
+
+SLED_PROGRAM = "_start:\n    MOVI r1, #3\n" + "    NOP\n" * 40 + """\
+    ADDI r2, r1, #1
+    MOV  r0, r2
+    SYS  #3
+    SYS  #0
+"""
+
+
+def test_tracer_divergence_detection():
+    golden, _ = run_traced(SLED_PROGRAM)
+
+    system = System()
+    system.load(assemble(SLED_PROGRAM))
+    tracer = CommitTracer(system.core)
+    # Corrupt r1 after the MOVI commits; the consuming ADDI sits behind
+    # the NOP sled and has not issued yet.
+    while system.core.stats.committed < 2:
+        system.step()
+    system.core.prf.flip_bit(system.core.rename_map[1], 3)
+    system.run(1_000_000)
+
+    divergence = tracer.first_divergence(golden)
+    assert divergence is not None
+    assert tracer.records[divergence].asm.startswith("addi")
+    assert tracer.records[divergence].value == (3 ^ 8) + 1
+
+
+def test_tracer_identical_runs_have_no_divergence():
+    first, _ = run_traced(PROGRAM)
+    second, _ = run_traced(PROGRAM)
+    assert first.first_divergence(second) is None
+
+
+def test_tracer_detach_stops_recording():
+    system = System()
+    system.load(assemble(PROGRAM))
+    tracer = CommitTracer(system.core)
+    while system.core.stats.committed < 1:
+        system.step()
+    recorded = len(tracer.records)
+    tracer.detach()
+    system.run(1_000_000)
+    assert len(tracer.records) == recorded
+
+
+def test_tracer_format():
+    tracer, _ = run_traced(PROGRAM)
+    text = tracer.format_trace(count=3)
+    assert "movi r1, #3" in text
+    assert "r1=0x00000003" in text

@@ -1,0 +1,91 @@
+"""CSV export of campaign results."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.avf import ClassCounts
+from repro.core.campaign import CampaignResult, CellResult
+from repro.core.export import (
+    cells_to_csv,
+    fit_to_csv,
+    node_avf_to_csv,
+    weighted_avf_to_csv,
+)
+from repro.core.technology import TECHNOLOGY_NODES
+
+
+def small_result():
+    cells = []
+    for workload, cycles in (("alpha", 1000), ("beta", 3000)):
+        for component in ("l1d", "itlb"):
+            for cardinality in (1, 2, 3):
+                cells.append(CellResult(
+                    workload=workload, component=component,
+                    cardinality=cardinality,
+                    counts=ClassCounts(
+                        masked=90 - 10 * cardinality,
+                        sdc=5 * cardinality, crash=5 * cardinality,
+                    ),
+                    golden_cycles=cycles,
+                ))
+    return CampaignResult(cells)
+
+
+def rows(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+def test_cells_csv_round_trips_counts():
+    parsed = rows(cells_to_csv(small_result()))
+    assert len(parsed) == 12
+    first = parsed[0]
+    assert first["workload"] == "alpha"
+    total = sum(int(first[k]) for k in
+                ("masked", "sdc", "crash", "timeout", "assertion"))
+    assert total == 90
+    assert float(first["avf"]) == pytest.approx(
+        1 - int(first["masked"]) / total, abs=1e-5
+    )
+
+
+def test_cells_csv_is_sorted_and_stable():
+    first = cells_to_csv(small_result())
+    second = cells_to_csv(small_result())
+    assert first == second
+    workloads = [r["workload"] for r in rows(first)]
+    assert workloads == sorted(workloads)
+
+
+def test_weighted_avf_csv():
+    parsed = rows(weighted_avf_to_csv(small_result()))
+    assert len(parsed) == 2 * 3  # components x cardinalities
+    by_key = {(r["component"], r["cardinality"]): float(r["weighted_avf"])
+              for r in parsed}
+    # All workloads share the same counts here, so the weighted AVF equals
+    # the plain AVF of any cell.
+    assert by_key[("l1d", "1")] == pytest.approx(1 - 80 / 90, abs=1e-5)
+    assert by_key[("l1d", "3")] > by_key[("l1d", "1")]
+
+
+def test_node_avf_csv_covers_all_nodes():
+    parsed = rows(node_avf_to_csv(small_result()))
+    assert len(parsed) == 2 * len(TECHNOLOGY_NODES)
+    at_250 = [r for r in parsed if r["node"] == "250nm"]
+    for row in at_250:
+        assert float(row["aggregate_avf"]) == pytest.approx(
+            float(row["single_bit_avf"]), abs=1e-5
+        )
+
+
+def test_fit_csv_decomposition_sums():
+    parsed = rows(fit_to_csv(small_result()))
+    assert [r["node"] for r in parsed] == list(TECHNOLOGY_NODES)
+    for row in parsed:
+        assert float(row["fit_total"]) == pytest.approx(
+            float(row["fit_single_only"]) + float(row["fit_multibit"]),
+            abs=2e-6,  # 6-decimal CSV rounding
+        )
+    assert float(parsed[0]["multibit_share"]) == 0.0
+    assert float(parsed[-1]["multibit_share"]) > 0.0

@@ -1,0 +1,164 @@
+"""Fault masks and the spatial multi-bit generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import FaultMask
+from repro.core.generator import (
+    CLUSTERED,
+    INDEPENDENT,
+    ClusterShape,
+    MultiBitFaultGenerator,
+)
+
+
+class FakeArray:
+    """Minimal InjectableArray for generator tests."""
+
+    def __init__(self, rows, cols, name="fake"):
+        self._rows, self._cols, self._name = rows, cols, name
+        self.flips = []
+
+    @property
+    def inject_name(self):
+        return self._name
+
+    @property
+    def inject_rows(self):
+        return self._rows
+
+    @property
+    def inject_cols(self):
+        return self._cols
+
+    def flip_bit(self, row, col):
+        self.flips.append((row, col))
+
+    def read_bit(self, row, col):
+        return self.flips.count((row, col)) % 2
+
+
+def test_mask_validation_rejects_empty():
+    with pytest.raises(ValueError, match="at least one"):
+        FaultMask("l1d", (), (0, 0), (3, 3))
+
+
+def test_mask_validation_rejects_duplicates():
+    with pytest.raises(ValueError, match="duplicate"):
+        FaultMask("l1d", ((1, 1), (1, 1)), (0, 0), (3, 3))
+
+
+def test_mask_validation_rejects_out_of_cluster_bits():
+    with pytest.raises(ValueError, match="outside"):
+        FaultMask("l1d", ((5, 5),), (0, 0), (3, 3))
+
+
+def test_bounding_box():
+    mask = FaultMask("l1d", ((2, 3), (4, 3)), (2, 3), (3, 3))
+    assert mask.bounding_box() == (3, 1)
+
+
+def test_single_bit_generation():
+    gen = MultiBitFaultGenerator(seed=7)
+    array = FakeArray(64, 256)
+    mask = gen.generate(array, 1)
+    assert mask.cardinality == 1
+    (row, col) = mask.bits[0]
+    assert 0 <= row < 64 and 0 <= col < 256
+    assert mask.component == "fake"
+
+
+def test_triple_bit_stays_in_cluster():
+    gen = MultiBitFaultGenerator(seed=3)
+    array = FakeArray(16, 32)
+    for _ in range(200):
+        mask = gen.generate(array, 3)
+        assert mask.cardinality == 3
+        height, width = mask.bounding_box()
+        assert height <= 3 and width <= 3
+
+
+def test_subcluster_patterns_are_included():
+    """Per paper §III.B: patterns fitting a smaller box must occur."""
+    gen = MultiBitFaultGenerator(seed=11)
+    array = FakeArray(16, 32)
+    boxes = {gen.generate(array, 2).bounding_box() for _ in range(300)}
+    assert (1, 2) in boxes or (2, 1) in boxes  # adjacent pair
+    assert (3, 3) in boxes or (2, 3) in boxes or (3, 2) in boxes
+
+
+def test_cardinality_exceeding_cluster_rejected():
+    gen = MultiBitFaultGenerator(cluster=ClusterShape(2, 2), seed=0)
+    with pytest.raises(ValueError, match="cannot fit"):
+        gen.generate(FakeArray(8, 8), 5)
+
+
+def test_geometry_smaller_than_cluster_rejected():
+    gen = MultiBitFaultGenerator(seed=0)
+    with pytest.raises(ValueError, match="smaller than"):
+        gen.generate(FakeArray(2, 8), 1)
+
+
+def test_zero_cardinality_rejected():
+    gen = MultiBitFaultGenerator(seed=0)
+    with pytest.raises(ValueError, match="at least 1"):
+        gen.generate(FakeArray(8, 8), 0)
+
+
+def test_determinism_per_seed():
+    array = FakeArray(64, 256)
+    a = [MultiBitFaultGenerator(seed=5).generate(array, 3) for _ in range(10)]
+    b = [MultiBitFaultGenerator(seed=5).generate(array, 3) for _ in range(10)]
+    assert a == b
+    c = [MultiBitFaultGenerator(seed=6).generate(array, 3) for _ in range(10)]
+    assert a != c
+
+
+def test_independent_mode_spreads_bits():
+    gen = MultiBitFaultGenerator(mode=INDEPENDENT, seed=9)
+    array = FakeArray(64, 256)
+    spread = False
+    for _ in range(50):
+        mask = gen.generate(array, 3)
+        height, width = mask.bounding_box()
+        if height > 3 or width > 3:
+            spread = True
+    assert spread  # independent bits routinely exceed a 3x3 box
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown placement"):
+        MultiBitFaultGenerator(mode="diagonal")
+
+
+def test_cluster_shape_validation():
+    with pytest.raises(ValueError):
+        ClusterShape(0, 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.integers(min_value=3, max_value=128),
+    cols=st.integers(min_value=3, max_value=512),
+    cardinality=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_generated_masks_always_in_bounds(rows, cols, cardinality, seed):
+    gen = MultiBitFaultGenerator(seed=seed)
+    array = FakeArray(rows, cols)
+    mask = gen.generate(array, cardinality)
+    assert len(set(mask.bits)) == cardinality
+    for row, col in mask.bits:
+        assert 0 <= row < rows
+        assert 0 <= col < cols
+
+
+def test_placement_covers_the_array():
+    """Cluster origins should span the whole geometry, not cling to a corner."""
+    gen = MultiBitFaultGenerator(seed=123)
+    array = FakeArray(64, 256)
+    rows = {gen.generate(array, 1).bits[0][0] for _ in range(400)}
+    cols = {gen.generate(array, 1).bits[0][1] for _ in range(400)}
+    assert min(rows) < 8 and max(rows) > 55
+    assert min(cols) < 32 and max(cols) > 220

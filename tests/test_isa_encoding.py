@@ -1,0 +1,156 @@
+"""Encoding/decoding of instruction words."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import DecodedInst, decode, encode
+from repro.isa.opcodes import FORMAT_OF, Format, Op, is_valid_opcode
+from repro.isa.registers import LR
+
+
+def test_rtype_roundtrip_fields():
+    word = encode(Op.ADD, rd=3, rs1=4, rs2=5)
+    inst = decode(word)
+    assert inst.op is Op.ADD
+    assert (inst.rd, inst.rs1, inst.rs2) == (3, 4, 5)
+    assert inst.reads == (4, 5)
+    assert inst.writes == 3
+
+
+def test_itype_negative_imm_sign_extends():
+    inst = decode(encode(Op.ADDI, rd=1, rs1=2, imm=-5))
+    assert inst.imm == -5
+    assert inst.reads == (2,)
+    assert inst.writes == 1
+
+
+def test_logical_imm_zero_extends():
+    inst = decode(encode(Op.ORRI, rd=1, rs1=1, imm=0xFFFF))
+    assert inst.imm == 0xFFFF
+    inst = decode(encode(Op.ANDI, rd=1, rs1=1, imm=0x8000))
+    assert inst.imm == 0x8000
+
+
+def test_lui_imm_unsigned():
+    inst = decode(encode(Op.LUI, rd=2, imm=0xABCD))
+    assert inst.imm == 0xABCD
+    assert inst.reads == ()
+
+
+def test_store_reads_value_and_base():
+    inst = decode(encode(Op.STR, rd=7, rs1=8, imm=12))
+    assert inst.is_store
+    assert inst.reads == (7, 8)
+    assert inst.writes is None
+    assert inst.mem_size == 4
+
+
+def test_load_byte_size():
+    inst = decode(encode(Op.LDRB, rd=1, rs1=2, imm=0))
+    assert inst.is_load
+    assert inst.mem_size == 1
+    assert inst.writes == 1
+
+
+def test_branch_compare_reads_two_registers():
+    inst = decode(encode(Op.BLT, rd=3, rs1=4, imm=-16))
+    assert inst.is_cond_branch
+    assert inst.reads == (3, 4)
+    assert inst.imm == -16
+
+
+def test_branch_zero_reads_one_register():
+    inst = decode(encode(Op.BEQZ, rd=9, imm=5))
+    assert inst.is_cond_branch
+    assert inst.reads == (9,)
+    assert inst.imm == 5
+
+
+def test_bl_writes_link_register():
+    inst = decode(encode(Op.BL, imm=100))
+    assert inst.is_direct_jump
+    assert inst.writes == LR
+    assert inst.imm == 100
+
+
+def test_jump_offset_26bit_range():
+    inst = decode(encode(Op.B, imm=-(1 << 25)))
+    assert inst.imm == -(1 << 25)
+    with pytest.raises(ValueError):
+        encode(Op.B, imm=1 << 25)
+
+
+def test_sys_reads_arg_registers_writes_r0():
+    inst = decode(encode(Op.SYS, imm=3))
+    assert inst.is_sys
+    assert inst.reads == (0, 1, 2)
+    assert inst.writes == 0
+    assert inst.imm == 3
+
+
+def test_zero_word_is_illegal():
+    inst = decode(0)
+    assert inst.illegal
+    assert inst.reads == () and inst.writes is None
+
+
+def test_unassigned_opcode_is_illegal():
+    assert not is_valid_opcode(0x3D)
+    assert decode(0x3D << 26).illegal
+
+
+def test_decode_is_cached():
+    assert decode(encode(Op.NOP)) is decode(encode(Op.NOP))
+
+
+def test_encode_rejects_bad_registers():
+    with pytest.raises(ValueError):
+        encode(Op.ADD, rd=16)
+    with pytest.raises(ValueError):
+        encode(Op.ADD, rs1=-1)
+
+
+def test_encode_rejects_out_of_range_imm16():
+    with pytest.raises(ValueError):
+        encode(Op.ADDI, rd=0, rs1=0, imm=1 << 16)
+    with pytest.raises(ValueError):
+        encode(Op.ADDI, rd=0, rs1=0, imm=-(1 << 15) - 1)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_decode_is_total(word):
+    """Every 32-bit value decodes without raising (fault-corrupted fetch)."""
+    inst = DecodedInst(word)
+    assert inst.illegal or inst.op is not None
+    for reg in inst.reads:
+        assert 0 <= reg < 16
+    if inst.writes is not None:
+        assert 0 <= inst.writes < 16
+
+
+@given(
+    st.sampled_from(sorted(Op, key=int)),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+)
+def test_encode_decode_roundtrip(op, rd, rs1, rs2, imm):
+    fmt = FORMAT_OF[op]
+    if fmt is Format.J:
+        word = encode(op, imm=imm)
+    elif fmt is Format.SYS:
+        word = encode(op, imm=abs(imm))
+    else:
+        word = encode(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+    inst = decode(word)
+    assert inst.op is op
+    if fmt is Format.R:
+        assert (inst.rd, inst.rs1, inst.rs2) == (rd, rs1, rs2)
+    elif fmt in (Format.I, Format.BC, Format.BZ):
+        assert inst.rd == rd and inst.rs1 == rs1
+        if op in (Op.ANDI, Op.ORRI, Op.EORI, Op.LUI):
+            assert inst.imm == imm & 0xFFFF
+        else:
+            assert inst.imm == imm

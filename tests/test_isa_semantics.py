@@ -1,0 +1,101 @@
+"""Integer semantics of the ALU and branch conditions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Op
+from repro.isa.semantics import (
+    ArithmeticFault,
+    alu,
+    branch_taken,
+    to_signed,
+    to_u32,
+)
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def test_to_signed():
+    assert to_signed(0) == 0
+    assert to_signed(0x7FFFFFFF) == 2**31 - 1
+    assert to_signed(0x80000000) == -(2**31)
+    assert to_signed(0xFFFFFFFF) == -1
+
+
+def test_add_sub_wraparound():
+    assert alu(Op.ADD, 0xFFFFFFFF, 1) == 0
+    assert alu(Op.SUB, 0, 1) == 0xFFFFFFFF
+    assert alu(Op.MUL, 0x10000, 0x10000) == 0
+
+
+def test_signed_division_truncates_toward_zero():
+    assert alu(Op.DIV, to_u32(-7), 2) == to_u32(-3)
+    assert alu(Op.DIV, 7, to_u32(-2)) == to_u32(-3)
+    assert alu(Op.DIV, to_u32(-7), to_u32(-2)) == 3
+
+
+def test_signed_modulo_follows_dividend_sign():
+    assert alu(Op.MOD, to_u32(-7), 2) == to_u32(-1)
+    assert alu(Op.MOD, 7, to_u32(-2)) == 1
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(ArithmeticFault):
+        alu(Op.DIV, 1, 0)
+    with pytest.raises(ArithmeticFault):
+        alu(Op.MOD, 1, 0)
+
+
+def test_shifts():
+    assert alu(Op.LSL, 1, 31) == 0x80000000
+    assert alu(Op.LSR, 0x80000000, 31) == 1
+    assert alu(Op.ASR, 0x80000000, 31) == 0xFFFFFFFF
+    # Shift amounts wrap at 32.
+    assert alu(Op.LSL, 1, 32) == 1
+    assert alu(Op.LSL, 1, 33) == 2
+
+
+def test_set_less_than():
+    assert alu(Op.SLT, to_u32(-1), 0) == 1
+    assert alu(Op.SLT, 0, to_u32(-1)) == 0
+    assert alu(Op.SLTU, to_u32(-1), 0) == 0  # unsigned: 0xFFFFFFFF > 0
+    assert alu(Op.SLTU, 0, 1) == 1
+
+
+def test_branch_conditions_signed_vs_unsigned():
+    minus_one = to_u32(-1)
+    assert branch_taken(Op.BLT, minus_one, 0)
+    assert not branch_taken(Op.BLTU, minus_one, 0)
+    assert branch_taken(Op.BGEU, minus_one, 0)
+    assert branch_taken(Op.BEQ, 5, 5)
+    assert branch_taken(Op.BNE, 5, 6)
+    assert branch_taken(Op.BEQZ, 0, 12345)
+    assert branch_taken(Op.BNEZ, 1, 0)
+
+
+@given(U32, U32)
+def test_alu_results_are_32_bit(a, b):
+    for op in (Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.ORR, Op.EOR,
+               Op.LSL, Op.LSR, Op.ASR, Op.SLT, Op.SLTU):
+        assert 0 <= alu(op, a, b) <= 0xFFFFFFFF
+
+
+@given(U32, U32)
+def test_add_matches_python_mod_2_32(a, b):
+    assert alu(Op.ADD, a, b) == (a + b) % 2**32
+
+
+@given(U32, st.integers(min_value=1, max_value=0xFFFFFFFF))
+def test_div_mod_identity(a, b):
+    q = to_signed(alu(Op.DIV, a, b))
+    r = to_signed(alu(Op.MOD, a, b))
+    sa, sb = to_signed(a), to_signed(b)
+    if sa != -(2**31) or sb != -1:  # the overflowing corner wraps
+        assert q * sb + r == sa
+
+
+@given(U32, U32)
+def test_slt_consistent_with_branch(a, b):
+    assert bool(alu(Op.SLT, a, b)) == branch_taken(Op.BLT, a, b)
+    assert bool(alu(Op.SLTU, a, b)) == branch_taken(Op.BLTU, a, b)

@@ -1,0 +1,237 @@
+"""End-to-end MiniC execution: compile, simulate, check program output.
+
+These tests exercise the entire stack — lexer, parser, sema, codegen,
+assembler, loader, TLBs, caches and the out-of-order core — and compare the
+syscall output stream with independently computed expectations.
+"""
+
+import pytest
+
+from repro.kernel.status import RunStatus
+from repro.minic import compile_source
+from repro.cpu.system import run_program
+
+
+def run(source, max_cycles=2_000_000):
+    return run_program(compile_source(source), max_cycles=max_cycles)
+
+
+def out(source):
+    result = run(source)
+    assert result.status is RunStatus.FINISHED, (
+        result.status, result.crash_reason, result.detail
+    )
+    return result.output.decode()
+
+
+def test_putd_putw_putc():
+    assert out("""
+        int main() { putd(-42); putw(255); putc('A'); exit(0); return 0; }
+    """) == "-42\n000000ff\nA"
+
+
+def test_arithmetic_and_precedence():
+    assert out("""
+        int main() {
+            putd(2 + 3 * 4);
+            putd((2 + 3) * 4);
+            putd(7 / 2);
+            putd(-7 / 2);
+            putd(-7 % 3);
+            putd(1 << 10);
+            putd(-8 >> 1);
+            exit(0);
+            return 0;
+        }
+    """) == "14\n20\n3\n-3\n-1\n1024\n-4\n"
+
+
+def test_bitwise_operators():
+    assert out("""
+        int main() {
+            putw(0xF0F0 & 0xFF00);
+            putw(0xF0F0 | 0x0F0F);
+            putw(0xFFFF ^ 0x00FF);
+            putw(~0);
+            exit(0);
+            return 0;
+        }
+    """) == "0000f000\n0000ffff\n0000ff00\nffffffff\n"
+
+
+def test_comparisons_as_values():
+    assert out("""
+        int main() {
+            putd(3 < 4); putd(4 < 3); putd(3 <= 3); putd(4 > 5);
+            putd(5 >= 5); putd(1 == 1); putd(1 != 1);
+            putd(-1 < 0);
+            exit(0);
+            return 0;
+        }
+    """) == "1\n0\n1\n0\n1\n1\n0\n1\n"
+
+
+def test_short_circuit_evaluation():
+    # The second operand must not run (it would divide by zero and crash).
+    assert out("""
+        int zero() { return 0; }
+        int main() {
+            int x = 0;
+            if (zero() && 1 / x) { putd(99); } else { putd(1); }
+            if (1 || 1 / x) { putd(2); }
+            exit(0);
+            return 0;
+        }
+    """) == "1\n2\n"
+
+
+def test_logical_not():
+    assert out("""
+        int main() { putd(!0); putd(!5); putd(!!7); exit(0); return 0; }
+    """) == "1\n0\n1\n"
+
+
+def test_while_break_continue():
+    assert out("""
+        int main() {
+            int s = 0;
+            int i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                s = s + i;
+            }
+            putd(s);
+            exit(0);
+            return 0;
+        }
+    """) == "25\n"
+
+
+def test_nested_for_loops():
+    assert out("""
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 5; i = i + 1) {
+                for (int j = 0; j <= i; j = j + 1) {
+                    total = total + 1;
+                }
+            }
+            putd(total);
+            exit(0);
+            return 0;
+        }
+    """) == "15\n"
+
+
+def test_recursion_factorial_and_fib():
+    assert out("""
+        int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { putd(fact(7)); putd(fib(12)); exit(0); return 0; }
+    """) == "5040\n144\n"
+
+
+def test_global_arrays_and_scalars():
+    assert out("""
+        int counter = 100;
+        int table[5] = {10, 20, 30};
+        int main() {
+            counter = counter + 1;
+            table[3] = table[0] + table[1];
+            putd(counter);
+            putd(table[3]);
+            putd(table[4]);
+            exit(0);
+            return 0;
+        }
+    """) == "101\n30\n0\n"
+
+
+def test_byte_arrays_zero_extend():
+    assert out("""
+        byte buf[4] = {200, 1};
+        int main() {
+            buf[2] = 300;        // truncates to 44
+            putd(buf[0] + buf[1]);
+            putd(buf[2]);
+            exit(0);
+            return 0;
+        }
+    """) == "201\n44\n"
+
+
+def test_pointer_parameters_mutate_caller_array():
+    assert out("""
+        int data[3] = {1, 2, 3};
+        void double_all(int *p, int n) {
+            for (int i = 0; i < n; i = i + 1) { p[i] = p[i] * 2; }
+        }
+        int main() {
+            double_all(data, 3);
+            putd(data[0] + data[1] + data[2]);
+            exit(0);
+            return 0;
+        }
+    """) == "12\n"
+
+
+def test_deep_expression_register_pressure():
+    assert out("""
+        int main() {
+            int a = 1;
+            putd(((((a+1)*2+1)*2+1)*2+1)*2 + ((((a+2)*2+2)*2+2)*2+2)*2
+                 + (a+3)*(a+4)*(a+5)*(a+6));
+            exit(0);
+            return 0;
+        }
+    """) == str(
+        ((((1+1)*2+1)*2+1)*2+1)*2 + ((((1+2)*2+2)*2+2)*2+2)*2
+        + (1+3)*(1+4)*(1+5)*(1+6)
+    ) + "\n"
+
+
+def test_calls_inside_expressions_preserve_temporaries():
+    assert out("""
+        int id(int x) { return x; }
+        int main() {
+            putd(id(1) + id(2) * id(3) + id(id(4)));
+            exit(0);
+            return 0;
+        }
+    """) == "11\n"
+
+
+def test_division_by_zero_crashes_process():
+    result = run("""
+        int main() { int z = 0; putd(1 / z); exit(0); return 0; }
+    """)
+    assert result.status is RunStatus.CRASH_PROCESS
+
+
+def test_exit_code_propagates():
+    result = run("int main() { exit(3); return 0; }")
+    assert result.status is RunStatus.FINISHED
+    assert result.exit_code == 3
+
+
+def test_main_return_value_becomes_exit_code():
+    result = run("int main() { return 7; }")
+    assert result.status is RunStatus.FINISHED
+    assert result.exit_code == 7
+
+
+def test_32bit_wraparound_semantics():
+    assert out("""
+        int main() {
+            int big = 2147483647;
+            putd(big + 1);
+            putw(65535 * 65537);
+            exit(0);
+            return 0;
+        }
+    """) == "-2147483648\nffffffff\n"

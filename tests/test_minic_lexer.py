@@ -1,0 +1,63 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("int x while whilex")
+    assert [t.kind for t in tokens] == ["kw", "ident", "kw", "ident"]
+    assert tokens[3].text == "whilex"
+
+
+def test_integer_literals():
+    tokens = tokenize("42 0x1F 0")
+    assert [t.value for t in tokens] == [42, 31, 0]
+
+
+def test_char_literals_and_escapes():
+    tokens = tokenize(r"'a' '\n' '\0' '\\' '\''")
+    assert [t.value for t in tokens] == [97, 10, 0, 92, 39]
+
+
+def test_two_char_operators_lex_greedily():
+    assert kinds("<< <= == != && || >>") == [
+        "<<", "<=", "==", "!=", "&&", "||", ">>",
+    ]
+    assert kinds("<<=") == ["<<", "="]
+
+
+def test_comments_are_skipped():
+    tokens = tokenize("a // line comment\n b /* block\n comment */ c")
+    assert [t.text for t in tokens] == ["a", "b", "c"]
+
+
+def test_line_numbers_track_newlines():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens] == [1, 2, 4]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(CompileError, match="unterminated"):
+        tokenize("/* never closed")
+
+
+def test_unterminated_char_literal_rejected():
+    with pytest.raises(CompileError, match="unterminated"):
+        tokenize("'a")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(CompileError, match="unexpected character"):
+        tokenize("a @ b")
+
+
+def test_token_repr_mentions_line():
+    token = Token("ident", "foo", 0, 7)
+    assert "foo" in repr(token) and "7" in repr(token)

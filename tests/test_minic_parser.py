@@ -1,0 +1,146 @@
+"""MiniC parser: AST shapes and syntax errors."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic.ast_nodes import (
+    AssignStmt, Binary, Call, DeclStmt, ForStmt, IfStmt, Index, IntLit,
+    ReturnStmt, Unary, VarRef, WhileStmt,
+)
+from repro.minic.parser import parse
+
+
+def parse_main_body(body):
+    module = parse("int main() { %s }" % body)
+    return module.funcs[0].body.stmts
+
+
+def first_expr(source):
+    (stmt,) = parse_main_body(f"return {source};")
+    assert isinstance(stmt, ReturnStmt)
+    return stmt.value
+
+
+def test_globals_scalars_and_arrays():
+    module = parse("int g = 5; int arr[4] = {1, 2}; byte buf[8];")
+    g, arr, buf = module.globals
+    assert (g.name, g.size, g.init) == ("g", None, [5])
+    assert (arr.size, arr.init) == (4, [1, 2])
+    assert (buf.elem_type, buf.size, buf.init) == ("byte", 8, None)
+
+
+def test_negative_initialisers():
+    module = parse("int g = -3; int a[2] = {-1, -2};")
+    assert module.globals[0].init == [-3]
+    assert module.globals[1].init == [-1, -2]
+
+
+def test_function_params():
+    module = parse("void f(int a, int *p, byte *b) { }")
+    assert [p.type for p in module.funcs[0].params] == ["int", "int*", "byte*"]
+
+
+def test_precedence_mul_over_add():
+    expr = first_expr("1 + 2 * 3")
+    assert isinstance(expr, Binary) and expr.op == "+"
+    assert isinstance(expr.rhs, Binary) and expr.rhs.op == "*"
+
+
+def test_precedence_shift_between_add_and_compare():
+    expr = first_expr("1 + 2 << 3 < 4")
+    assert expr.op == "<"
+    assert expr.lhs.op == "<<"
+    assert expr.lhs.lhs.op == "+"
+
+
+def test_precedence_bitand_below_equality():
+    expr = first_expr("a == b & c == d")
+    assert expr.op == "&"
+    assert expr.lhs.op == "=="
+
+
+def test_logical_operators_lowest():
+    expr = first_expr("a < b && c < d || e")
+    assert expr.op == "||"
+    assert expr.lhs.op == "&&"
+
+
+def test_unary_folding_of_negative_literals():
+    expr = first_expr("-5")
+    assert isinstance(expr, IntLit) and expr.value == -5
+    expr = first_expr("-x")
+    assert isinstance(expr, Unary) and expr.op == "-"
+
+
+def test_array_assignment_vs_expression():
+    assign, stmt = parse_main_body("a[i + 1] = 2; f(a[i]);")
+    assert isinstance(assign, AssignStmt)
+    assert isinstance(assign.target, Index)
+    assert isinstance(stmt.expr, Call)
+
+
+def test_if_else_chain():
+    (stmt,) = parse_main_body(
+        "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"
+    )
+    assert isinstance(stmt, IfStmt)
+    assert isinstance(stmt.els, IfStmt)
+    assert stmt.els.els is not None
+
+
+def test_while_and_for():
+    while_stmt, for_stmt = parse_main_body(
+        "while (i < 10) { i = i + 1; } "
+        "for (int j = 0; j < 4; j = j + 1) { }"
+    )
+    assert isinstance(while_stmt, WhileStmt)
+    assert isinstance(for_stmt, ForStmt)
+    assert isinstance(for_stmt.init, DeclStmt)
+    assert isinstance(for_stmt.post, AssignStmt)
+
+
+def test_for_with_empty_clauses():
+    (stmt,) = parse_main_body("for (;;) { break; }")
+    assert stmt.init is None and stmt.cond is None and stmt.post is None
+
+
+def test_call_arguments():
+    expr = first_expr("f(1, g(2), x)")
+    assert isinstance(expr, Call) and len(expr.args) == 3
+    assert isinstance(expr.args[1], Call)
+
+
+def test_index_expression():
+    expr = first_expr("a[b[0] + 1]")
+    assert isinstance(expr, Index)
+    assert isinstance(expr.index, Binary)
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(CompileError, match="expected"):
+        parse("int main() { x = 1 }")
+
+
+def test_too_many_params_rejected():
+    with pytest.raises(CompileError, match="more than 4"):
+        parse("void f(int a, int b, int c, int d, int e) { }")
+
+
+def test_byte_scalar_rejected():
+    with pytest.raises(CompileError, match="byte variables must be arrays"):
+        parse("byte b;")
+
+
+def test_byte_value_param_rejected():
+    with pytest.raises(CompileError, match="byte parameters"):
+        parse("void f(byte b) { }")
+
+
+def test_unbalanced_block_rejected():
+    with pytest.raises(CompileError):
+        parse("int main() { if (x) { }")
+
+
+def test_too_many_array_initialisers_rejected():
+    with pytest.raises(CompileError, match="too many"):
+        parse("int a[2] = {1, 2, 3};")

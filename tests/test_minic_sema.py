@@ -1,0 +1,138 @@
+"""MiniC semantic analysis: name resolution and rule enforcement."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic.parser import parse
+from repro.minic.sema import analyse
+
+
+def check(source):
+    return analyse(parse(source))
+
+
+def test_valid_program_resolves():
+    info = check("""
+        int table[4];
+        int get(int *p, int i) { return p[i]; }
+        int main() { table[0] = 1; return get(table, 0); }
+    """)
+    assert "main" in info.funcs
+    assert info.scopes["get"].params == {"p": "int*", "i": "int"}
+
+
+def test_missing_main_rejected():
+    with pytest.raises(CompileError, match="no main"):
+        check("int f() { return 0; }")
+
+
+def test_main_with_params_rejected():
+    with pytest.raises(CompileError, match="no parameters"):
+        check("int main(int argc) { return 0; }")
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(CompileError, match="undefined name"):
+        check("int main() { return nope; }")
+
+
+def test_undefined_function_rejected():
+    with pytest.raises(CompileError, match="undefined function"):
+        check("int main() { return missing(); }")
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(CompileError, match="argument"):
+        check("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+
+def test_void_function_as_value_rejected():
+    with pytest.raises(CompileError, match="used"):
+        check("void f() { } int main() { return f(); }")
+
+
+def test_array_as_value_rejected():
+    with pytest.raises(CompileError, match="used as a value"):
+        check("int a[4]; int main() { return a; }")
+
+
+def test_assign_to_array_name_rejected():
+    with pytest.raises(CompileError, match="cannot assign to array"):
+        check("int a[4]; int main() { a = 1; return 0; }")
+
+
+def test_index_of_scalar_rejected():
+    with pytest.raises(CompileError, match="not indexable"):
+        check("int g; int main() { return g[0]; }")
+
+
+def test_pointer_argument_type_checking():
+    with pytest.raises(CompileError, match="does not match"):
+        check("""
+            byte buf[4];
+            int f(int *p) { return p[0]; }
+            int main() { return f(buf); }
+        """)
+
+
+def test_pointer_argument_must_be_name():
+    with pytest.raises(CompileError, match="pointer argument"):
+        check("""
+            int f(int *p) { return p[0]; }
+            int main() { return f(1 + 2); }
+        """)
+
+
+def test_pointer_passthrough_allowed():
+    check("""
+        int a[4];
+        int inner(int *p) { return p[0]; }
+        int outer(int *q) { return inner(q); }
+        int main() { return outer(a); }
+    """)
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CompileError, match="outside a loop"):
+        check("int main() { break; return 0; }")
+
+
+def test_return_value_from_void_rejected():
+    with pytest.raises(CompileError, match="void function returns"):
+        check("void f() { return 1; } int main() { return 0; }")
+
+
+def test_bare_return_from_int_rejected():
+    with pytest.raises(CompileError, match="returns nothing"):
+        check("int f() { return; } int main() { return 0; }")
+
+
+def test_local_shadowing_parameter_rejected():
+    with pytest.raises(CompileError, match="shadows"):
+        check("int f(int a) { int a = 1; return a; } int main() { return 0; }")
+
+
+def test_redeclared_local_reuses_slot():
+    info = check("""
+        int main() {
+            for (int i = 0; i < 2; i = i + 1) { }
+            for (int i = 0; i < 3; i = i + 1) { }
+            return 0;
+        }
+    """)
+    assert info.scopes["main"].locals == ["i"]
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(CompileError, match="duplicate"):
+        check("int g; int g; int main() { return 0; }")
+
+
+def test_intrinsic_shadowing_rejected():
+    with pytest.raises(CompileError, match="duplicate"):
+        check("int putw; int main() { return 0; }")
+
+
+def test_literal_out_of_range_rejected():
+    with pytest.raises(CompileError, match="32-bit"):
+        check("int main() { return 4294967296; }")

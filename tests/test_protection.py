@@ -1,0 +1,147 @@
+"""ECC/interleaving protection modelling."""
+
+import pytest
+
+from repro.core.faults import FaultMask
+from repro.core.generator import ClusterShape, MultiBitFaultGenerator
+from repro.core.protection import (
+    NO_PROTECTION,
+    PARITY,
+    SECDED,
+    ProtectionOutcome,
+    ProtectionScheme,
+    evaluate_scheme,
+    residual_avf,
+    secded_interleaved,
+)
+
+
+class FakeArray:
+    def __init__(self, rows=64, cols=256):
+        self._rows, self._cols = rows, cols
+
+    @property
+    def inject_name(self):
+        return "fake"
+
+    @property
+    def inject_rows(self):
+        return self._rows
+
+    @property
+    def inject_cols(self):
+        return self._cols
+
+    def flip_bit(self, row, col):
+        pass
+
+    def read_bit(self, row, col):
+        return 0
+
+
+def mask(*bits):
+    rows = [r for r, _ in bits]
+    cols = [c for _, c in bits]
+    origin = (min(rows), min(cols))
+    return FaultMask("fake", tuple(sorted(bits)), origin, (3, 3))
+
+
+def test_secded_corrects_single_bit():
+    assert SECDED.classify(mask((0, 5))) is ProtectionOutcome.CORRECTED
+
+
+def test_secded_detects_double_in_same_word():
+    assert SECDED.classify(mask((0, 5), (0, 6))) is ProtectionOutcome.DETECTED
+
+
+def test_secded_escapes_triple_in_same_word():
+    outcome = SECDED.classify(mask((0, 5), (0, 6), (0, 7)))
+    assert outcome is ProtectionOutcome.ESCAPED
+
+
+def test_secded_corrects_bits_in_different_rows():
+    """Vertical clusters hit different words: each is a single-bit error."""
+    outcome = SECDED.classify(mask((0, 5), (1, 5), (2, 5)))
+    assert outcome is ProtectionOutcome.CORRECTED
+
+
+def test_interleaving_splits_adjacent_columns():
+    two_way = secded_interleaved(2)
+    # Adjacent columns -> different words -> both corrected.
+    assert two_way.classify(mask((0, 4), (0, 5))) is ProtectionOutcome.CORRECTED
+    # Two columns apart -> same word again -> only detected.
+    assert two_way.classify(mask((0, 4), (0, 6))) is ProtectionOutcome.DETECTED
+
+
+def test_interleave_4_corrects_any_3_in_a_row_segment():
+    four_way = secded_interleaved(4)
+    outcome = four_way.classify(mask((0, 8), (0, 9), (0, 10)))
+    assert outcome is ProtectionOutcome.CORRECTED
+
+
+def test_parity_detects_odd_escapes_even():
+    assert PARITY.classify(mask((0, 1))) is ProtectionOutcome.DETECTED
+    assert PARITY.classify(mask((0, 1), (0, 2))) is ProtectionOutcome.ESCAPED
+
+
+def test_no_protection_everything_escapes():
+    assert NO_PROTECTION.classify(mask((0, 1))) is ProtectionOutcome.ESCAPED
+
+
+def test_word_mapping_respects_groups():
+    scheme = ProtectionScheme("x", word_bits=32, interleave=2)
+    # Columns 0,2,4,... of the first 64-bit group -> word 0; odd -> word 1.
+    assert scheme.word_of(3, 0) == (3, 0)
+    assert scheme.word_of(3, 1) == (3, 1)
+    assert scheme.word_of(3, 2) == (3, 0)
+    # Next group of 64 columns starts word ids at 2.
+    assert scheme.word_of(3, 64) == (3, 2)
+
+
+def test_invalid_schemes_rejected():
+    with pytest.raises(ValueError):
+        ProtectionScheme("bad", word_bits=0)
+    with pytest.raises(ValueError):
+        ProtectionScheme("bad", correct_up_to=2, detect_up_to=1)
+
+
+def test_evaluate_scheme_single_bit_always_corrected_by_secded():
+    stats = evaluate_scheme(SECDED, FakeArray(), cardinality=1, trials=300)
+    assert stats.correct_fraction == 1.0
+    assert stats.escape_fraction == 0.0
+
+
+def test_evaluate_scheme_double_bit_secded_mix():
+    """Clustered doubles: some pairs share a word (detected), verticals
+    split across rows (corrected); nothing escapes."""
+    stats = evaluate_scheme(SECDED, FakeArray(), cardinality=2, trials=500)
+    assert stats.escaped == 0
+    assert stats.detected > 0
+    assert stats.corrected > 0
+
+
+def test_interleaving_improves_correction_rate():
+    plain = evaluate_scheme(SECDED, FakeArray(), 3, trials=600, seed=1)
+    x4 = evaluate_scheme(secded_interleaved(4), FakeArray(), 3,
+                         trials=600, seed=1)
+    assert x4.correct_fraction > plain.correct_fraction
+    assert x4.escape_fraction <= plain.escape_fraction
+
+
+def test_interleave_at_cluster_width_corrects_everything():
+    """k >= cluster width guarantees <=1 flip per word for 3x3 clusters."""
+    scheme = secded_interleaved(3)
+    gen = MultiBitFaultGenerator(cluster=ClusterShape(3, 3), seed=9)
+    array = FakeArray()
+    for _ in range(400):
+        assert scheme.classify(gen.generate(array, 3)) is (
+            ProtectionOutcome.CORRECTED
+        )
+
+
+def test_residual_avf():
+    stats = evaluate_scheme(SECDED, FakeArray(), 3, trials=400)
+    assert residual_avf(0.30, stats) == pytest.approx(
+        0.30 * stats.escape_fraction
+    )
+    assert residual_avf(0.30, stats) <= 0.30

@@ -1,0 +1,152 @@
+"""TLBs: translation, refill, permissions, and fault-injection behaviour."""
+
+from repro.mem.paging import PAGE_SHIFT, PAGE_SIZE, PageTable
+from repro.mem.tlb import (
+    ACCESS_EXEC,
+    ACCESS_LOAD,
+    ACCESS_STORE,
+    FAULT_PAGE,
+    FAULT_PROT,
+    PPN_SHIFT,
+    TLB,
+    VPN_SHIFT,
+    TLBEntryFields,
+)
+
+
+def make_tlb(entries=8):
+    table = PageTable(walk_latency=20)
+    table.map_page(0x10, 0x100, writable=False, executable=True)
+    table.map_page(0x20, 0x200, writable=True, executable=False)
+    table.map_page(0x30, 0x300, writable=True, executable=False, kernel=True)
+    return TLB("tlb", table, entries=entries), table
+
+
+def va(vpn, offset=0):
+    return (vpn << PAGE_SHIFT) | offset
+
+
+def test_miss_walks_and_refills():
+    tlb, _ = make_tlb()
+    paddr, lat, fault = tlb.translate(va(0x20, 5), ACCESS_LOAD)
+    assert fault is None
+    assert paddr == (0x200 << PAGE_SHIFT) | 5
+    assert lat == tlb.hit_latency + 20
+    assert tlb.misses == 1
+    _, lat, _ = tlb.translate(va(0x20, 9), ACCESS_LOAD)
+    assert lat == tlb.hit_latency
+    assert tlb.hits == 1
+
+
+def test_unmapped_page_faults():
+    tlb, _ = make_tlb()
+    _, _, fault = tlb.translate(va(0x77), ACCESS_LOAD)
+    assert fault == FAULT_PAGE
+
+
+def test_vpn_beyond_field_width_faults():
+    tlb, _ = make_tlb()
+    _, _, fault = tlb.translate(0xFFFF_F000, ACCESS_LOAD)
+    assert fault == FAULT_PAGE
+
+
+def test_permission_checks():
+    tlb, _ = make_tlb()
+    assert tlb.translate(va(0x10), ACCESS_EXEC)[2] is None
+    assert tlb.translate(va(0x10), ACCESS_STORE)[2] == FAULT_PROT
+    assert tlb.translate(va(0x20), ACCESS_STORE)[2] is None
+    assert tlb.translate(va(0x20), ACCESS_EXEC)[2] == FAULT_PROT
+    # Kernel pages are off-limits to user accesses entirely.
+    assert tlb.translate(va(0x30), ACCESS_LOAD)[2] == FAULT_PROT
+
+
+def test_lru_eviction_and_reload():
+    table = PageTable(walk_latency=20)
+    for vpn in range(6):
+        table.map_page(vpn, 0x100 + vpn, writable=True)
+    tlb = TLB("tlb", table, entries=4)
+    for vpn in range(4):
+        tlb.translate(va(vpn), ACCESS_LOAD)
+    tlb.translate(va(0), ACCESS_LOAD)       # 0 becomes MRU
+    tlb.translate(va(4), ACCESS_LOAD)       # evicts vpn 1 (LRU)
+    misses_before = tlb.misses
+    tlb.translate(va(0), ACCESS_LOAD)
+    assert tlb.misses == misses_before      # still resident
+    tlb.translate(va(1), ACCESS_LOAD)
+    assert tlb.misses == misses_before + 1  # was evicted
+
+
+def test_ppn_flip_redirects_translation():
+    tlb, _ = make_tlb()
+    tlb.translate(va(0x20), ACCESS_LOAD)
+    entry_idx = next(
+        i for i, w in enumerate(tlb.packed)
+        if w >> 31 and (w >> VPN_SHIFT) & 0x1FFF == 0x20
+    )
+    tlb.flip_bit(entry_idx, PPN_SHIFT)  # flip ppn LSB
+    paddr, _, fault = tlb.translate(va(0x20), ACCESS_LOAD)
+    assert fault is None
+    assert paddr >> PAGE_SHIFT == 0x201  # silently wrong frame
+
+
+def test_valid_flip_heals_via_refill():
+    tlb, _ = make_tlb()
+    tlb.translate(va(0x20), ACCESS_LOAD)
+    entry_idx = next(i for i, w in enumerate(tlb.packed) if w >> 31)
+    tlb.flip_bit(entry_idx, 31)  # clear valid
+    paddr, lat, fault = tlb.translate(va(0x20), ACCESS_LOAD)
+    assert fault is None
+    assert paddr >> PAGE_SHIFT == 0x200  # correct again after the walk
+    assert lat > tlb.hit_latency
+
+
+def test_writable_flip_causes_protection_fault():
+    tlb, _ = make_tlb()
+    tlb.translate(va(0x20), ACCESS_STORE)
+    entry_idx = next(i for i, w in enumerate(tlb.packed) if w >> 31)
+    tlb.flip_bit(entry_idx, 4)  # clear the writable bit
+    assert tlb.translate(va(0x20), ACCESS_STORE)[2] == FAULT_PROT
+
+
+def test_vpn_flip_makes_entry_match_wrong_page():
+    tlb, table = make_tlb()
+    table.map_page(0x21, 0x500, writable=True)
+    tlb.translate(va(0x20), ACCESS_LOAD)
+    entry_idx = next(i for i, w in enumerate(tlb.packed) if w >> 31)
+    tlb.flip_bit(entry_idx, VPN_SHIFT)  # vpn 0x20 -> 0x21
+    paddr, _, fault = tlb.translate(va(0x21), ACCESS_LOAD)
+    assert fault is None
+    assert paddr >> PAGE_SHIFT == 0x200  # 0x21 now wrongly maps to 0x200
+
+
+def test_spare_bit_flip_is_architecturally_masked():
+    tlb, _ = make_tlb()
+    tlb.translate(va(0x20), ACCESS_LOAD)
+    entry_idx = next(i for i, w in enumerate(tlb.packed) if w >> 31)
+    tlb.flip_bit(entry_idx, 0)  # spare bit
+    paddr, _, fault = tlb.translate(va(0x20), ACCESS_LOAD)
+    assert fault is None and paddr >> PAGE_SHIFT == 0x200
+
+
+def test_entry_fields_pack_unpack_round_trip():
+    word = TLBEntryFields.pack(0x123, 0x456, True, False, True)
+    fields = TLBEntryFields(word)
+    assert (fields.vpn, fields.ppn) == (0x123, 0x456)
+    assert fields.writable and not fields.executable and fields.kernel
+    assert fields.valid
+
+
+def test_flush_invalidates_everything():
+    tlb, _ = make_tlb()
+    tlb.translate(va(0x20), ACCESS_LOAD)
+    tlb.flush()
+    assert not tlb.valid_entries()
+    misses = tlb.misses
+    tlb.translate(va(0x20), ACCESS_LOAD)
+    assert tlb.misses == misses + 1
+
+
+def test_inject_geometry():
+    tlb, _ = make_tlb(entries=8)
+    assert (tlb.inject_rows, tlb.inject_cols) == (8, 32)
+    assert PAGE_SIZE == 1 << PAGE_SHIFT

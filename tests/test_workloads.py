@@ -1,0 +1,102 @@
+"""The 15 workloads: correctness against their references, metadata, scaling.
+
+``test_golden_matches_reference`` is the heavyweight integration suite: it
+runs every workload through the complete stack (MiniC compiler → assembler →
+loader → TLB/caches → out-of-order core → syscalls) and compares the output
+byte stream with the independently computed reference (hashlib for sha, a
+forward AES for rijndael, plain Python everywhere else).
+"""
+
+import pytest
+
+from repro.core.campaign import golden_run
+from repro.kernel.status import RunStatus
+from repro.cpu.system import run_program
+from repro.errors import ConfigError
+from repro.workloads import get_workload, load_all_workloads, workload_names
+
+ALL_NAMES = workload_names()
+
+
+def test_registry_has_the_papers_15_benchmarks():
+    assert len(ALL_NAMES) == 15
+    assert set(ALL_NAMES) == {
+        "crc32", "fft", "adpcm_dec", "basicmath", "cjpeg", "dijkstra",
+        "djpeg", "gsm_dec", "qsort", "rijndael_dec", "sha", "stringsearch",
+        "susan_c", "susan_e", "susan_s",
+    }
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigError, match="unknown workload"):
+        get_workload("doom")
+
+
+def test_workloads_are_cached():
+    assert get_workload("sha") is get_workload("sha")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_golden_matches_reference(name):
+    workload = get_workload(name)
+    result = golden_run(workload)  # validates output internally
+    assert result.status is RunStatus.FINISHED
+    assert result.output == workload.expected_output
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_metadata_is_complete(name):
+    workload = get_workload(name)
+    assert workload.paper_cycles > 1_000_000  # Table III magnitudes
+    assert workload.description
+    assert workload.paper_name
+    assert workload.expected_output  # every workload produces output
+
+
+def test_workloads_are_deterministic():
+    import importlib
+    module = importlib.import_module("repro.workloads.crc32")
+    first, second = module.build(), module.build()
+    assert first.source == second.source
+    assert first.expected_output == second.expected_output
+
+
+def test_crc32_is_the_longest_stringsearch_among_shortest():
+    """Table III shape: CRC32 dominates; stringsearch is near the bottom."""
+    cycles = {
+        name: golden_run(get_workload(name)).cycles for name in ALL_NAMES
+    }
+    assert max(cycles, key=cycles.get) in ("crc32", "rijndael_dec", "fft")
+    ranked = sorted(cycles, key=cycles.get)
+    assert "stringsearch" in ranked[:3]
+    assert "susan_c" in ranked[:3]
+
+
+def test_rank_correlation_with_paper_is_positive():
+    """Spearman rank correlation of measured vs paper cycle counts."""
+    from scipy.stats import spearmanr
+
+    measured = [golden_run(get_workload(n)).cycles for n in ALL_NAMES]
+    paper = [get_workload(n).paper_cycles for n in ALL_NAMES]
+    rho, _ = spearmanr(measured, paper)
+    assert rho > 0.6
+
+
+def test_programs_fit_the_scaled_platform():
+    for workload in load_all_workloads():
+        program = workload.program()
+        assert len(program.text) < 48 * 1024
+        assert len(program.data) < 120 * 1024
+
+
+def test_expected_output_is_printable_stream():
+    for workload in load_all_workloads():
+        # putw/putd output lines are ASCII; putc may emit raw bytes.
+        assert len(workload.expected_output) < 32 * 1024
+
+
+def test_run_program_without_golden_cache_agrees():
+    workload = get_workload("susan_c")
+    result = run_program(workload.program())
+    assert result.output == workload.expected_output
