@@ -8,10 +8,14 @@ one set of simulations.  Scale knobs (environment variables):
   cell; default 10 for a laptop-scale run, 2000 for the paper's setup.
 * ``REPRO_WORKLOADS`` — comma-separated subset of the 15 workloads.
 * ``REPRO_SEED``      — campaign seed (default 0).
+* ``REPRO_MAX_INCIDENTS`` — infra-incident budget before aborting
+  (default: unlimited; incidents land in ``benchmarks/.cache/incidents.jsonl``).
 
-The cell cache lives in ``benchmarks/.cache/campaign_store.json`` and is
-keyed by the exact cell parameters plus a platform fingerprint, so changing
-any knob re-simulates only what changed.
+The cell cache lives in ``benchmarks/.cache/campaign_store.json`` (snapshot
++ write-ahead journal) and is keyed by the exact cell parameters plus a
+platform fingerprint, so changing any knob re-simulates only what changed.
+Campaigns run under the supervisor: a killed run resumes mid-cell from the
+store's partial checkpoints, bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -26,9 +30,11 @@ from repro.core.campaign import (
     CampaignStore,
     run_campaign,
 )
+from repro.core.supervisor import IncidentJournal, Supervisor
 
 CACHE_DIR = Path(__file__).resolve().parent / ".cache"
 STORE_PATH = CACHE_DIR / "campaign_store.json"
+INCIDENT_JOURNAL_PATH = CACHE_DIR / "incidents.jsonl"
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 DEFAULT_SAMPLES = 10
@@ -45,9 +51,20 @@ def shared_config() -> CampaignConfig:
 
 
 def shared_campaign(progress: bool = True) -> CampaignResult:
-    """Run (or load from cache) the shared campaign."""
+    """Run (or load from cache) the shared campaign, fault-contained."""
     config = shared_config()
     store = CampaignStore(STORE_PATH)
+    if store.quarantined is not None:
+        print(
+            f"warning: corrupt campaign store quarantined to "
+            f"{store.quarantined}; rebuilt from its journal",
+            file=sys.stderr,
+        )
+    max_incidents_env = os.environ.get("REPRO_MAX_INCIDENTS", "")
+    supervisor = Supervisor(
+        journal=IncidentJournal(INCIDENT_JOURNAL_PATH),
+        max_incidents=int(max_incidents_env) if max_incidents_env else None,
+    )
 
     def report(done: int, total: int, cell) -> None:
         print(
@@ -59,10 +76,17 @@ def shared_campaign(progress: bool = True) -> CampaignResult:
         )
 
     result = run_campaign(
-        config, progress=report if progress else None, store=store
+        config, progress=report if progress else None, store=store,
+        supervisor=supervisor, resume=True,
     )
     if progress:
         print(file=sys.stderr)
+    if supervisor.incident_count:
+        print(
+            f"warning: {supervisor.incident_count} infra incident(s) "
+            f"contained; see {INCIDENT_JOURNAL_PATH}",
+            file=sys.stderr,
+        )
     return result
 
 

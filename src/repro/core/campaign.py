@@ -40,10 +40,19 @@ from repro.workloads.base import Workload
 
 DEFAULT_CARDINALITIES = (1, 2, 3)
 
+#: Cycle budget for fault-free golden runs.  Every workload in the suite
+#: finishes within a few hundred thousand cycles; this bound only exists so
+#: a broken toolchain cannot hang the campaign before it starts.
+GOLDEN_MAX_CYCLES = 50_000_000
+
 _GOLDEN_CACHE: dict[tuple[str, str], RunResult] = {}
 
 
-def golden_run(workload: Workload, core_cfg: CoreConfig = DEFAULT_CONFIG) -> RunResult:
+def golden_run(
+    workload: Workload,
+    core_cfg: CoreConfig = DEFAULT_CONFIG,
+    max_cycles: int = GOLDEN_MAX_CYCLES,
+) -> RunResult:
     """Fault-free execution of *workload* (cached per workload + platform).
 
     The result is validated against the workload's independent reference
@@ -56,10 +65,11 @@ def golden_run(workload: Workload, core_cfg: CoreConfig = DEFAULT_CONFIG) -> Run
         return cached
     system = System(core_cfg)
     system.load(workload.program())
-    result = system.run(max_cycles=50_000_000)
+    result = system.run(max_cycles=max_cycles)
     if result.status is not RunStatus.FINISHED:
         raise ConfigError(
-            f"golden run of {workload.name} did not finish: {result.status}"
+            f"golden run of {workload.name} did not finish within its "
+            f"{max_cycles:,}-cycle budget: {result.status}"
         )
     if result.output != workload.expected_output:
         raise ConfigError(
@@ -159,11 +169,29 @@ class CellResult:
         )
 
 
-class CampaignResult:
-    """All cells of a campaign plus the analysis entry points."""
+#: Version stamp written into result blobs and store snapshots.  Bump when
+#: the serialised shape changes; loaders accept every older version.
+RESULT_SCHEMA = 2
 
-    def __init__(self, cells: Iterable[CellResult]) -> None:
+
+class CampaignResult:
+    """All cells of a campaign plus the analysis entry points.
+
+    ``incidents`` counts the infra failures the supervisor contained while
+    producing these cells (0 for unsupervised or incident-free runs); it
+    travels with the serialised result so downstream consumers can judge
+    how many samples each cell is missing.
+    """
+
+    def __init__(
+        self,
+        cells: Iterable[CellResult],
+        incidents: int = 0,
+        schema: int = RESULT_SCHEMA,
+    ) -> None:
         self._cells: dict[tuple[str, str, int], CellResult] = {}
+        self.incidents = incidents
+        self.schema = schema
         for cell in cells:
             self._cells[(cell.workload, cell.component, cell.cardinality)] = cell
 
@@ -226,13 +254,23 @@ class CampaignResult:
 
     def to_json(self) -> str:
         return json.dumps(
-            {"cells": [c.as_dict() for c in self.cells]}, indent=1
+            {
+                "schema": RESULT_SCHEMA,
+                "incidents": self.incidents,
+                "cells": [c.as_dict() for c in self.cells],
+            },
+            indent=1,
         )
 
     @classmethod
     def from_json(cls, blob: str) -> "CampaignResult":
+        # Schema 1 blobs carry only "cells"; default the newer fields.
         data = json.loads(blob)
-        return cls(CellResult.from_dict(c) for c in data["cells"])
+        return cls(
+            (CellResult.from_dict(c) for c in data["cells"]),
+            incidents=int(data.get("incidents", 0)),
+            schema=int(data.get("schema", 1)),
+        )
 
 
 class CheckpointedWorkload:
@@ -288,8 +326,10 @@ def _checkpoints_for(
 ) -> CheckpointedWorkload:
     # Keep only the most recent workload's snapshots: campaigns iterate
     # workload-major, and snapshots are tens of MB across all 15.
+    # Compare configs by value: two equal CoreConfig instances describe the
+    # same platform, and rebuilding snapshots for them would be pure waste.
     cached = _CHECKPOINT_CACHE.get(workload.name)
-    if cached is None or cached.core_cfg is not core_cfg:
+    if cached is None or cached.core_cfg != core_cfg:
         _CHECKPOINT_CACHE.clear()
         cached = CheckpointedWorkload(workload, core_cfg)
         _CHECKPOINT_CACHE[workload.name] = cached
@@ -304,11 +344,16 @@ def run_one_injection(
     inject_cycle: int,
     core_cfg: CoreConfig = DEFAULT_CONFIG,
     checkpoints: CheckpointedWorkload | None = None,
+    max_steps: int | None = None,
+    trace: dict | None = None,
 ) -> tuple[FaultClass, RunResult, FaultMask]:
     """One complete injection experiment; see the module docstring.
 
     Pass *checkpoints* (see :class:`CheckpointedWorkload`) to skip
     re-simulating the fault-free prefix; the outcome is identical.
+    *max_steps* arms the step-count watchdog on the faulty run; *trace*,
+    when a dict, receives intermediate artifacts (currently ``"mask"``) so
+    a supervisor can build a repro bundle even when the run blows up later.
     """
     golden = golden_run(workload, core_cfg)
     max_cycles = TIMEOUT_FACTOR * golden.cycles
@@ -320,15 +365,70 @@ def run_one_injection(
     mask = generator.generate(
         system.injectable_targets()[component], cardinality
     )
-    reached = system.run_until(inject_cycle, max_cycles)
+    if trace is not None:
+        trace["mask"] = mask
+    reached = system.run_until(inject_cycle, max_cycles, max_steps=max_steps)
     if not reached:  # pragma: no cover - golden prefix is deterministic
         raise ConfigError(
             f"injection cycle {inject_cycle} not reachable in "
             f"{workload.name} (golden={golden.cycles})"
         )
     inject(system, mask)
-    result = system.run(max_cycles)
+    result = system.run(max_cycles, max_steps=max_steps)
     return classify(result, golden), result, mask
+
+
+def _rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` → JSON-serialisable form."""
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def _rng_state_from_json(data: list) -> tuple:
+    version, internal, gauss = data
+    return (version, tuple(internal), gauss)
+
+
+@dataclass
+class CellCheckpoint:
+    """Mid-cell progress: everything needed to resume sample *samples_done*.
+
+    Both RNG states are captured *after* the last counted sample, so a
+    resumed cell draws exactly the injection cycles and fault masks the
+    uninterrupted run would have drawn — the resumed `ClassCounts` is
+    bit-identical, not merely statistically equivalent.
+    """
+
+    samples_done: int
+    counts: ClassCounts
+    cycle_rng_state: tuple
+    generator_rng_state: tuple
+    golden_cycles: int
+
+    def as_dict(self) -> dict:
+        return {
+            "samples_done": self.samples_done,
+            "counts": self.counts.as_dict(),
+            "cycle_rng": _rng_state_to_json(self.cycle_rng_state),
+            "generator_rng": _rng_state_to_json(self.generator_rng_state),
+            "golden_cycles": self.golden_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellCheckpoint":
+        return cls(
+            samples_done=int(data["samples_done"]),
+            counts=ClassCounts.from_dict(data["counts"]),
+            cycle_rng_state=_rng_state_from_json(data["cycle_rng"]),
+            generator_rng_state=_rng_state_from_json(data["generator_rng"]),
+            golden_cycles=int(data["golden_cycles"]),
+        )
+
+
+#: Persist a mid-cell checkpoint every this many samples when a store is
+#: attached.  At the paper's 2,000 samples/cell this bounds lost work after
+#: a kill to ~12% of one cell.
+DEFAULT_CHECKPOINT_EVERY = 250
 
 
 def run_cell(
@@ -337,8 +437,23 @@ def run_cell(
     cardinality: int,
     config: CampaignConfig,
     core_cfg: CoreConfig = DEFAULT_CONFIG,
+    *,
+    supervisor: "SupervisorLike | None" = None,
+    store: "CampaignStore | None" = None,
+    cell_key: str | None = None,
+    checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = True,
 ) -> CellResult:
-    """Run all of one cell's injections."""
+    """Run all of one cell's injections.
+
+    With *store* and *cell_key*, mid-cell progress is checkpointed every
+    *checkpoint_every* samples and (when *resume* is true) picked up again
+    on the next call, reproducing the uninterrupted result bit-for-bit.
+    With *supervisor*, each injection runs inside its isolation boundary:
+    infra failures become journalled incidents instead of aborting the cell
+    (such samples are dropped from the histogram — they are not fault
+    effects, so ``counts.total`` may be less than ``config.samples``).
+    """
     workload = get_workload(workload_name)
     golden = golden_run(workload, core_cfg)
     cell_seed = f"{config.seed}:{workload_name}:{component}:{cardinality}"
@@ -348,13 +463,44 @@ def run_cell(
     cycle_rng = random.Random(f"repro-cycles:{cell_seed}")
     checkpoints = _checkpoints_for(workload, core_cfg)
     counts = ClassCounts()
-    for _ in range(config.samples):
+    start = 0
+    if store is not None and cell_key is not None and resume:
+        partial = store.get_partial(cell_key)
+        if partial is not None and partial.samples_done <= config.samples:
+            counts = partial.counts
+            start = partial.samples_done
+            cycle_rng.setstate(partial.cycle_rng_state)
+            generator.set_rng_state(partial.generator_rng_state)
+    for index in range(start, config.samples):
         inject_cycle = cycle_rng.randrange(golden.cycles)
-        fault_class, _, _ = run_one_injection(
-            workload, component, generator, cardinality, inject_cycle,
-            core_cfg, checkpoints=checkpoints,
-        )
-        counts.add(fault_class)
+        if supervisor is not None:
+            fault_class = supervisor.run_injection(
+                workload, component, generator, cardinality, inject_cycle,
+                core_cfg, checkpoints=checkpoints,
+                cell_seed=cell_seed, sample_index=index,
+            )
+        else:
+            fault_class, _, _ = run_one_injection(
+                workload, component, generator, cardinality, inject_cycle,
+                core_cfg, checkpoints=checkpoints,
+            )
+        if fault_class is not None:
+            counts.add(fault_class)
+        done = index + 1
+        if (
+            store is not None
+            and cell_key is not None
+            and checkpoint_every
+            and done % checkpoint_every == 0
+            and done < config.samples
+        ):
+            store.put_partial(cell_key, CellCheckpoint(
+                samples_done=done,
+                counts=counts,
+                cycle_rng_state=cycle_rng.getstate(),
+                generator_rng_state=generator.rng_state(),
+                golden_cycles=golden.cycles,
+            ))
     return CellResult(
         workload=workload_name,
         component=component,
@@ -367,11 +513,27 @@ def run_cell(
 ProgressFn = Callable[[int, int, CellResult], None]
 
 
+class SupervisorLike:
+    """Interface :func:`run_cell` expects of a supervisor (duck-typed).
+
+    The real implementation lives in :mod:`repro.core.supervisor`; this
+    stub only documents the contract and keeps campaign.py import-free of
+    the supervisor layer.
+    """
+
+    def run_injection(self, *args, **kwargs) -> FaultClass | None:
+        raise NotImplementedError  # pragma: no cover
+
+
 def run_campaign(
     config: CampaignConfig,
     progress: ProgressFn | None = None,
     store: "CampaignStore | None" = None,
     core_cfg: CoreConfig = DEFAULT_CONFIG,
+    *,
+    supervisor: "SupervisorLike | None" = None,
+    checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = True,
 ) -> CampaignResult:
     """Run (or resume, via *store*) a full campaign."""
     cells = config.cells()
@@ -380,34 +542,162 @@ def run_campaign(
         key = config.cell_key(workload, component, cardinality, core_cfg)
         cached = store.get(key) if store is not None else None
         if cached is None:
-            cached = run_cell(workload, component, cardinality, config, core_cfg)
+            cached = run_cell(
+                workload, component, cardinality, config, core_cfg,
+                supervisor=supervisor, store=store, cell_key=key,
+                checkpoint_every=checkpoint_every, resume=resume,
+            )
             if store is not None:
                 store.put(key, cached)
         results.append(cached)
         if progress is not None:
             progress(index + 1, len(cells), cached)
-    return CampaignResult(results)
+    incidents = supervisor.incident_count if supervisor is not None else 0
+    return CampaignResult(results, incidents=incidents)
+
+
+#: On-disk store schema.  Version 1 was a bare ``{key: cell}`` mapping
+#: rewritten wholesale on every put; version 2 adds the envelope with
+#: partial checkpoints and the write-ahead journal.
+STORE_SCHEMA = 2
 
 
 class CampaignStore:
-    """Incremental per-cell JSON cache on disk."""
+    """Crash-safe incremental per-cell cache on disk.
 
-    def __init__(self, path: str | Path) -> None:
+    Layout: a compacted JSON snapshot at *path* plus a write-ahead JSONL
+    journal at ``<path>.journal``.  Every mutation appends one line to the
+    journal (O(1), flushed immediately); every *compact_every* puts the
+    snapshot is rewritten atomically (tmp + rename) and the journal
+    truncated, so the journal stays short and loads stay fast.  A corrupt
+    or half-written snapshot is quarantined (renamed to
+    ``<path>.corrupt-N``) and the store rebuilt from whatever the journal
+    still holds; a torn final journal line (the signature of a kill mid
+    append) is skipped.  Version-1 snapshots (plain ``{key: cell}``) load
+    transparently.
+    """
+
+    def __init__(self, path: str | Path, compact_every: int = 64) -> None:
         self.path = Path(path)
+        self.journal_path = Path(str(path) + ".journal")
+        self.compact_every = compact_every
         self._data: dict[str, dict] = {}
+        self._partials: dict[str, dict] = {}
+        self._mutations_since_compact = 0
+        self.quarantined: Path | None = None
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
         if self.path.exists():
-            self._data = json.loads(self.path.read_text())
+            try:
+                raw = json.loads(self.path.read_text())
+                if not isinstance(raw, dict):
+                    raise ValueError("snapshot is not a JSON object")
+            except (ValueError, OSError):
+                self.quarantined = self._quarantine()
+            else:
+                if "schema" in raw and isinstance(raw.get("cells"), dict):
+                    self._data = dict(raw["cells"])
+                    self._partials = dict(raw.get("partials", {}))
+                else:  # schema 1: bare key -> cell mapping
+                    self._data = raw
+        self._replay_journal()
+
+    def _quarantine(self) -> Path:
+        """Move a corrupt snapshot aside; never destroy evidence."""
+        for attempt in range(1000):
+            target = Path(f"{self.path}.corrupt-{attempt}")
+            if not target.exists():
+                self.path.replace(target)
+                return target
+        raise OSError(  # pragma: no cover - 1000 corruptions is operator error
+            f"too many quarantined snapshots next to {self.path}"
+        )
+
+    def _replay_journal(self) -> None:
+        if not self.journal_path.exists():
+            return
+        try:
+            lines = self.journal_path.read_text().splitlines()
+        except OSError:  # pragma: no cover - unreadable journal
+            return
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                op = record["op"]
+            except (ValueError, KeyError, TypeError):
+                # Torn write: a kill landed mid-append.  Everything before
+                # this line is intact; nothing after it can be trusted.
+                break
+            if op == "cell":
+                self._data[record["key"]] = record["cell"]
+                self._partials.pop(record["key"], None)
+            elif op == "partial":
+                self._partials[record["key"]] = record["state"]
+            elif op == "clear_partial":
+                self._partials.pop(record["key"], None)
+            # Unknown ops from a future schema are ignored, not fatal.
+
+    # -- mutation ----------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.journal_path.open("a") as journal:
+            journal.write(json.dumps(record) + "\n")
+            journal.flush()
+        self._mutations_since_compact += 1
+        if self._mutations_since_compact >= self.compact_every:
+            self.compact()
+
+    def put(self, key: str, cell: CellResult) -> None:
+        self._data[key] = cell.as_dict()
+        self._partials.pop(key, None)
+        self._append({"op": "cell", "key": key, "cell": self._data[key]})
+
+    def put_partial(self, key: str, checkpoint: CellCheckpoint) -> None:
+        self._partials[key] = checkpoint.as_dict()
+        self._append({"op": "partial", "key": key, "state": self._partials[key]})
+
+    def clear_partial(self, key: str) -> None:
+        if key in self._partials:
+            del self._partials[key]
+            self._append({"op": "clear_partial", "key": key})
+
+    def compact(self) -> None:
+        """Fold the journal into an atomically-replaced snapshot."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps({
+            "schema": STORE_SCHEMA,
+            "cells": self._data,
+            "partials": self._partials,
+        }))
+        tmp.replace(self.path)
+        self.journal_path.write_text("")
+        self._mutations_since_compact = 0
+
+    # -- access ------------------------------------------------------------
 
     def get(self, key: str) -> CellResult | None:
         raw = self._data.get(key)
         return CellResult.from_dict(raw) if raw is not None else None
 
-    def put(self, key: str, cell: CellResult) -> None:
-        self._data[key] = cell.as_dict()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self._data))
-        tmp.replace(self.path)
+    def get_partial(self, key: str) -> CellCheckpoint | None:
+        raw = self._partials.get(key)
+        if raw is None:
+            return None
+        try:
+            return CellCheckpoint.from_dict(raw)
+        except (KeyError, ValueError, TypeError):
+            # A checkpoint we cannot parse is worth less than a redo.
+            return None
+
+    def partial_keys(self) -> list[str]:
+        return sorted(self._partials)
 
     def __len__(self) -> int:
         return len(self._data)

@@ -3,6 +3,8 @@
 Examples::
 
     repro-campaign run --samples 50 --workloads crc32 sha --out results.json
+    repro-campaign run --store store.json --resume --max-incidents 20
+    repro-campaign incidents --journal store.json.incidents.jsonl
     repro-campaign report --results results.json --artifact table5
     repro-campaign golden
     repro-campaign static --artifact table6
@@ -16,6 +18,7 @@ from pathlib import Path
 
 from repro.core import report
 from repro.core.campaign import (
+    DEFAULT_CHECKPOINT_EVERY,
     CampaignConfig,
     CampaignResult,
     CampaignStore,
@@ -23,6 +26,8 @@ from repro.core.campaign import (
     run_campaign,
 )
 from repro.core.generator import CLUSTERED, INDEPENDENT, ClusterShape
+from repro.core.supervisor import IncidentJournal, Supervisor
+from repro.errors import InjectionIncident
 from repro.cpu.config import DEFAULT_CONFIG
 from repro.cpu.system import COMPONENT_NAMES
 from repro.workloads import get_workload, workload_names
@@ -66,7 +71,33 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--store", type=Path, default=None,
-        help="incremental cell cache (JSON file)",
+        help="incremental cell cache (JSON snapshot + write-ahead journal)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="abort (non-zero) on the first infra incident instead of "
+        "containing it",
+    )
+    parser.add_argument(
+        "--max-incidents", type=int, default=None, metavar="N",
+        help="abort once more than N incidents were contained "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume mid-cell from the store's partial checkpoints "
+        "(bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--incident-journal", type=Path, default=None, metavar="PATH",
+        help="incident journal path (default: <store>.incidents.jsonl "
+        "when --store is given)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
+        metavar="N",
+        help="persist mid-cell progress every N samples "
+        f"(default {DEFAULT_CHECKPOINT_EVERY}; 0 disables)",
     )
 
 
@@ -83,9 +114,29 @@ def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
     )
 
 
+def _journal_path(args: argparse.Namespace) -> Path | None:
+    if args.incident_journal is not None:
+        return args.incident_journal
+    if args.store is not None:
+        return Path(str(args.store) + ".incidents.jsonl")
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     store = CampaignStore(args.store) if args.store else None
+    if store is not None and store.quarantined is not None:
+        print(
+            f"warning: corrupt store snapshot quarantined to "
+            f"{store.quarantined}; rebuilt from journal",
+            file=sys.stderr,
+        )
+    journal = IncidentJournal(_journal_path(args))
+    supervisor = Supervisor(
+        journal=journal,
+        max_incidents=args.max_incidents,
+        strict=args.strict,
+    )
 
     def progress(done: int, total: int, cell) -> None:
         print(
@@ -94,7 +145,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    result = run_campaign(config, progress=progress, store=store)
+    try:
+        result = run_campaign(
+            config, progress=progress, store=store,
+            supervisor=supervisor,
+            checkpoint_every=args.checkpoint_every or None,
+            resume=args.resume,
+        )
+    except InjectionIncident as exc:
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        if journal.path is not None:
+            print(f"incident journal: {journal.path}", file=sys.stderr)
+        return 1
+    if supervisor.incident_count:
+        where = journal.path if journal.path is not None else "in-memory only"
+        print(
+            f"{supervisor.incident_count} infra incident(s) contained "
+            f"(journal: {where})",
+            file=sys.stderr,
+        )
     blob = result.to_json()
     if args.out:
         Path(args.out).write_text(blob)
@@ -145,9 +214,16 @@ def _cmd_export(args: argparse.Namespace) -> int:
         "weighted-avf": export.weighted_avf_to_csv,
         "node-avf": export.node_avf_to_csv,
         "fit": export.fit_to_csv,
+        "summary": export.summary_to_csv,
     }
     result = _load_result(args.results)
     print(exporters[args.what](result), end="")
+    return 0
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    journal = IncidentJournal.load(args.journal)
+    print(report.render_incidents(journal.incidents, verbose=args.verbose))
     return 0
 
 
@@ -205,9 +281,19 @@ def main(argv: list[str] | None = None) -> int:
     p_export.add_argument("--results", type=Path, required=True)
     p_export.add_argument(
         "--what", required=True,
-        choices=["cells", "weighted-avf", "node-avf", "fit"],
+        choices=["cells", "weighted-avf", "node-avf", "fit", "summary"],
     )
     p_export.set_defaults(func=_cmd_export)
+
+    p_incidents = sub.add_parser(
+        "incidents", help="inspect a campaign's incident journal"
+    )
+    p_incidents.add_argument("--journal", type=Path, required=True)
+    p_incidents.add_argument(
+        "--verbose", action="store_true",
+        help="include the full traceback of every incident",
+    )
+    p_incidents.set_defaults(func=_cmd_incidents)
 
     p_golden = sub.add_parser(
         "golden", help="run fault-free golden simulations (Table III)"

@@ -17,6 +17,27 @@ from repro.core.fit import cpu_fit_by_node
 from repro.core.technology import TECHNOLOGY_NODES
 
 
+def summary_to_csv(result: CampaignResult) -> str:
+    """Campaign-level metadata: schema version, incident count, coverage.
+
+    ``total_injections`` sums the per-cell histograms; with contained
+    incidents it is smaller than cells x samples, and the gap is exactly
+    ``incidents`` — so a consumer can check campaign completeness from the
+    export alone.  Results serialised before schema 2 load with
+    ``schema=1`` and ``incidents=0``.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["schema", "cells", "total_injections", "incidents"])
+    writer.writerow([
+        result.schema,
+        len(result),
+        sum(cell.counts.total for cell in result.cells),
+        result.incidents,
+    ])
+    return buffer.getvalue()
+
+
 def cells_to_csv(result: CampaignResult) -> str:
     """One row per campaign cell with the full outcome histogram."""
     buffer = io.StringIO()

@@ -56,6 +56,19 @@ class MultiBitFaultGenerator:
         self.mode = mode
         self._rng = random.Random(f"repro-faultgen:{seed}")
 
+    def rng_state(self) -> tuple:
+        """Internal RNG state, for campaign checkpointing."""
+        return self._rng.getstate()
+
+    def set_rng_state(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`rng_state`.
+
+        A generator whose state is restored draws exactly the same mask
+        sequence as the original would have — the property intra-cell
+        checkpoint/resume relies on.
+        """
+        self._rng.setstate(state)
+
     def generate(self, target: InjectableArray, cardinality: int) -> FaultMask:
         """Draw one mask of *cardinality* flips for *target*."""
         rows, cols = target.inject_rows, target.inject_cols

@@ -23,4 +23,12 @@ def inject(system: System, mask: FaultMask) -> None:
             f"unknown component {mask.component!r}; "
             f"available: {', '.join(targets)}"
         )
+    rows, cols = target.inject_rows, target.inject_cols
+    for row, col in mask.bits:
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise ConfigError(
+                f"fault bit ({row}, {col}) outside the {mask.component} "
+                f"geometry {rows}x{cols} — mask was drawn for a different "
+                f"platform"
+            )
     flip_bits(target, mask.bits)

@@ -276,3 +276,51 @@ def render_fig8(result: CampaignResult) -> str:
             f"(multi-bit {100 * fit.multibit_share:.1f}%)"
         )
     return "\n".join(lines)
+
+
+# -- Incident journal ------------------------------------------------------------
+
+
+def render_incidents(incidents: list, verbose: bool = False) -> str:
+    """Human-readable view of an incident journal.
+
+    *incidents* is a list of :class:`repro.core.supervisor.Incident`.  The
+    summary groups by kind and error type; *verbose* appends every stored
+    traceback (the repro bundle's human half — the machine half is the
+    JSONL record itself).
+    """
+    if not incidents:
+        return "no incidents recorded"
+    by_kind: dict[str, int] = {}
+    by_error: dict[str, int] = {}
+    for incident in incidents:
+        by_kind[incident.kind] = by_kind.get(incident.kind, 0) + 1
+        by_error[incident.error_type] = by_error.get(incident.error_type, 0) + 1
+    lines = [
+        f"{len(incidents)} incident(s): "
+        + ", ".join(f"{n} {kind}" for kind, n in sorted(by_kind.items())),
+        "error types: "
+        + ", ".join(f"{n}x {err}" for err, n in sorted(by_error.items())),
+        "",
+    ]
+    rows = []
+    for index, incident in enumerate(incidents):
+        message = incident.message
+        if len(message) > 48:
+            message = message[:45] + "..."
+        rows.append([
+            str(index), incident.kind, incident.cell_label(),
+            str(incident.sample_index), str(incident.inject_cycle),
+            incident.error_type, message,
+        ])
+    lines.append(format_table(
+        ["#", "kind", "cell", "sample", "cycle", "error", "message"], rows
+    ))
+    if verbose:
+        for index, incident in enumerate(incidents):
+            lines.append("")
+            lines.append(f"--- incident {index}: {incident.cell_label()} "
+                         f"sample {incident.sample_index} "
+                         f"(cell seed {incident.cell_seed!r}) ---")
+            lines.append(incident.traceback.rstrip())
+    return "\n".join(lines)

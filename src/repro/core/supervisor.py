@@ -1,0 +1,271 @@
+"""Fault-contained campaign execution: the supervisor layer.
+
+A fault injector deliberately corrupts machine state, so it tickles code
+paths no test suite ever visited — and a single unexpected Python exception
+must not abort a 540k-simulation campaign.  Following the monitor design of
+production injectors (DAVOS's SBFI tool runs every injection as an
+untrusted job under a retry/quarantine monitor), every injection here runs
+inside an isolation boundary:
+
+* a deliberate :class:`~repro.errors.SimAssertion` is the paper's *Assert*
+  fault-effect class and is classified normally;
+* any other exception is an **incident**: an infra failure whose full repro
+  bundle (workload, component, cardinality, cell seed, sample index,
+  injection cycle, fault mask, traceback) is appended to a JSONL incident
+  journal, after which the campaign continues without that sample;
+* a step-count watchdog bounds every faulty run, so an infra livelock with
+  a stuck cycle counter surfaces as a :class:`~repro.errors.WatchdogTimeout`
+  incident instead of hanging the campaign;
+* a ``--max-incidents`` budget aborts the campaign once too many samples
+  have been lost for its statistics to mean anything, and ``--strict``
+  escalates the first incident immediately (for CI and debugging).
+
+Incidents are *not* fault effects: they never enter a cell's
+:class:`~repro.core.avf.ClassCounts`.  See DESIGN.md §6 for the containment
+model.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.campaign import (
+    CheckpointedWorkload,
+    golden_run,
+    run_one_injection,
+)
+from repro.core.classify import TIMEOUT_FACTOR, FaultClass
+from repro.core.faults import FaultMask
+from repro.errors import (
+    IncidentBudgetExceeded,
+    InjectionIncident,
+    SimAssertion,
+)
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.workloads.base import Workload
+
+#: Extra steps granted beyond the cycle budget before the watchdog trips.
+#: Every legal pipeline step advances the cycle counter by at least one, so
+#: steps can never legitimately exceed cycles; the slack absorbs the
+#: bookkeeping steps around termination.
+WATCHDOG_SLACK_STEPS = 10_000
+
+
+@dataclass
+class Incident:
+    """One contained infra failure, with everything needed to reproduce it.
+
+    ``kind`` is ``"exception"`` for an unexpected Python error and
+    ``"watchdog"`` for a step-budget trip (simulator livelock).  ``mask``
+    is the serialised :class:`~repro.core.faults.FaultMask` when the
+    failure happened after mask generation, else ``None`` (the cell seed +
+    sample index still reproduce it deterministically).
+    """
+
+    kind: str
+    workload: str
+    component: str
+    cardinality: int
+    cell_seed: str
+    sample_index: int
+    inject_cycle: int
+    mask: dict | None
+    error_type: str
+    message: str
+    traceback: str
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "component": self.component,
+            "cardinality": self.cardinality,
+            "cell_seed": self.cell_seed,
+            "sample_index": self.sample_index,
+            "inject_cycle": self.inject_cycle,
+            "mask": self.mask,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Incident":
+        return cls(
+            kind=data["kind"],
+            workload=data["workload"],
+            component=data["component"],
+            cardinality=int(data["cardinality"]),
+            cell_seed=data["cell_seed"],
+            sample_index=int(data["sample_index"]),
+            inject_cycle=int(data["inject_cycle"]),
+            mask=data.get("mask"),
+            error_type=data["error_type"],
+            message=data["message"],
+            traceback=data.get("traceback", ""),
+        )
+
+    def cell_label(self) -> str:
+        return f"{self.workload}/{self.component}/{self.cardinality}-bit"
+
+
+def _mask_as_dict(mask: FaultMask | None) -> dict | None:
+    if mask is None:
+        return None
+    return {
+        "component": mask.component,
+        "bits": [list(bit) for bit in mask.bits],
+        "origin": list(mask.origin),
+        "cluster": list(mask.cluster),
+    }
+
+
+class IncidentJournal:
+    """Append-only JSONL journal of incidents.
+
+    With a *path*, every append lands on disk immediately (one flushed
+    line), so the journal survives the very crash it is documenting.  With
+    ``path=None`` it is memory-only — useful for library callers and tests.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.incidents: list[Incident] = []
+
+    def append(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as journal:
+                journal.write(json.dumps(incident.as_dict()) + "\n")
+                journal.flush()
+
+    def __len__(self) -> int:
+        return len(self.incidents)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "IncidentJournal":
+        """Read a journal back; torn or corrupt lines are skipped.
+
+        The returned journal keeps *path* attached, so appending to a
+        loaded journal continues the same file.
+        """
+        journal = cls(path)
+        journal_path = Path(path)
+        if not journal_path.exists():
+            return journal
+        for line in journal_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                journal.incidents.append(Incident.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                continue
+        return journal
+
+
+@dataclass
+class Supervisor:
+    """Isolation boundary around individual injections.
+
+    ``max_incidents=None`` means unlimited containment; ``strict=True``
+    re-raises the first incident as :class:`InjectionIncident` (after
+    journalling it).  ``incident_count`` counts this run only — a resumed
+    campaign's journal may hold more from earlier runs.
+    """
+
+    journal: IncidentJournal = field(default_factory=IncidentJournal)
+    max_incidents: int | None = None
+    strict: bool = False
+    watchdog: bool = True
+    incident_count: int = 0
+
+    def run_injection(
+        self,
+        workload: Workload,
+        component: str,
+        generator,
+        cardinality: int,
+        inject_cycle: int,
+        core_cfg: CoreConfig = DEFAULT_CONFIG,
+        checkpoints: CheckpointedWorkload | None = None,
+        *,
+        cell_seed: str = "",
+        sample_index: int = 0,
+    ) -> FaultClass | None:
+        """One injection inside the containment boundary.
+
+        Returns the fault class, or ``None`` when the sample was lost to a
+        contained incident.
+        """
+        trace: dict = {}
+        max_steps = None
+        if self.watchdog:
+            golden = golden_run(workload, core_cfg)
+            max_steps = TIMEOUT_FACTOR * golden.cycles + WATCHDOG_SLACK_STEPS
+        try:
+            fault_class, _, _ = run_one_injection(
+                workload, component, generator, cardinality, inject_cycle,
+                core_cfg, checkpoints=checkpoints, max_steps=max_steps,
+                trace=trace,
+            )
+            return fault_class
+        except SimAssertion:
+            # A simulator assertion that escapes the run loop (e.g. raised
+            # while applying the mask) is still the deliberate Assert class.
+            return FaultClass.ASSERT
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            self._contain(
+                exc, workload, component, cardinality, cell_seed,
+                sample_index, inject_cycle, trace.get("mask"),
+            )
+            return None
+
+    def _contain(
+        self,
+        exc: Exception,
+        workload: Workload,
+        component: str,
+        cardinality: int,
+        cell_seed: str,
+        sample_index: int,
+        inject_cycle: int,
+        mask: FaultMask | None,
+    ) -> None:
+        from repro.errors import WatchdogTimeout
+
+        incident = Incident(
+            kind="watchdog" if isinstance(exc, WatchdogTimeout) else "exception",
+            workload=workload.name,
+            component=component,
+            cardinality=cardinality,
+            cell_seed=cell_seed,
+            sample_index=sample_index,
+            inject_cycle=inject_cycle,
+            mask=_mask_as_dict(mask),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+        self.journal.append(incident)
+        self.incident_count += 1
+        if self.strict:
+            raise InjectionIncident(
+                f"[strict] incident in {incident.cell_label()} sample "
+                f"{sample_index}: {type(exc).__name__}: {exc}"
+            ) from exc
+        if (
+            self.max_incidents is not None
+            and self.incident_count > self.max_incidents
+        ):
+            raise IncidentBudgetExceeded(
+                f"{self.incident_count} incidents exceed the budget of "
+                f"{self.max_incidents}; campaign statistics are no longer "
+                f"trustworthy (last: {type(exc).__name__} in "
+                f"{incident.cell_label()})"
+            ) from exc

@@ -128,11 +128,29 @@ class OutOfOrderCore:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, max_cycles: int) -> RunResult:
-        """Simulate until the program terminates or *max_cycles* elapse."""
+    def run(self, max_cycles: int, max_steps: int | None = None) -> RunResult:
+        """Simulate until the program terminates or *max_cycles* elapse.
+
+        *max_steps*, when given, bounds the number of ``step()`` calls: every
+        legal step advances the cycle counter, so the cycle budget normally
+        dominates — the step budget only trips when an infra bug leaves the
+        clock stuck, which would otherwise loop forever.  Tripping raises
+        :class:`~repro.errors.WatchdogTimeout` (an incident, not a modelled
+        fault effect).
+        """
         deadlock_window = self.cfg.deadlock_window
+        steps = 0
         while self.result is None:
             self.step()
+            steps += 1
+            if max_steps is not None and steps > max_steps:
+                from repro.errors import WatchdogTimeout
+
+                raise WatchdogTimeout(
+                    f"step watchdog: {steps} steps executed but the cycle "
+                    f"counter is at {self.cycle} (budget {max_steps} steps / "
+                    f"{max_cycles} cycles) — simulator livelock"
+                )
             if self.result is not None:
                 break
             if self.cycle >= max_cycles:

@@ -82,10 +82,15 @@ class System:
     def finished(self) -> bool:
         return self.core.result is not None
 
-    def run(self, max_cycles: int) -> RunResult:
-        """Run to termination, converting simulator assertions to results."""
+    def run(self, max_cycles: int, max_steps: int | None = None) -> RunResult:
+        """Run to termination, converting simulator assertions to results.
+
+        *max_steps* is the per-injection step-count watchdog (see
+        :meth:`repro.cpu.core.OutOfOrderCore.run`); leave it ``None`` for
+        trusted fault-free runs.
+        """
         try:
-            return self.core.run(max_cycles)
+            return self.core.run(max_cycles, max_steps=max_steps)
         except SimAssertion as exc:
             result = RunResult(
                 status=RunStatus.SIM_ASSERT,
@@ -98,17 +103,35 @@ class System:
             self.core.result = result
             return result
 
-    def run_until(self, target_cycle: int, max_cycles: int) -> bool:
+    def run_until(
+        self,
+        target_cycle: int,
+        max_cycles: int,
+        max_steps: int | None = None,
+    ) -> bool:
         """Advance to *target_cycle* (or termination).
 
         Returns True when the target cycle was reached with the program
         still running — i.e. an injection at this point is meaningful.
+        *max_steps* bounds the number of pipeline steps like
+        :meth:`run` does; a stuck cycle counter would otherwise keep this
+        loop spinning forever since ``cycle < target_cycle`` never resolves.
         """
+        steps = 0
         try:
             while self.core.result is None and self.core.cycle < target_cycle:
                 if self.core.cycle >= max_cycles:
                     return False
                 self.core.step()
+                steps += 1
+                if max_steps is not None and steps > max_steps:
+                    from repro.errors import WatchdogTimeout
+
+                    raise WatchdogTimeout(
+                        f"step watchdog: {steps} steps executed but the "
+                        f"cycle counter is at {self.core.cycle} (target "
+                        f"{target_cycle}) — simulator livelock"
+                    )
         except SimAssertion as exc:
             self.core.result = RunResult(
                 status=RunStatus.SIM_ASSERT,

@@ -44,3 +44,35 @@ class SimAssertion(ReproError):
     outside the simulated platform's physical memory map, which the paper
     reports as the dominant Assert mechanism for TLB faults.
     """
+
+
+class InjectionIncident(ReproError):
+    """An *infrastructure* failure during one injection experiment.
+
+    Unlike :class:`SimAssertion` (a deliberate, modelled fault effect), an
+    incident means the injector or simulator itself misbehaved — an
+    unexpected Python exception, a stuck cycle counter, a corrupted
+    intermediate state the code was never written to handle.  The campaign
+    supervisor (:mod:`repro.core.supervisor`) contains incidents by default,
+    journalling a full repro bundle and moving on; in ``--strict`` mode it
+    escalates them by raising this exception.
+    """
+
+
+class WatchdogTimeout(InjectionIncident):
+    """The per-injection step-count watchdog tripped.
+
+    Raised when the simulator executes more pipeline steps than any legal
+    run could need — the signature of an infra livelock where the cycle
+    counter has stopped advancing, which the ordinary ``max_cycles`` bound
+    can never catch.
+    """
+
+
+class IncidentBudgetExceeded(InjectionIncident):
+    """A campaign recorded more incidents than its ``--max-incidents`` budget.
+
+    Past this point the campaign's statistics can no longer be trusted
+    (too many samples were lost to infra failures), so the supervisor
+    aborts instead of silently degrading.
+    """

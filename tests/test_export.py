@@ -11,6 +11,7 @@ from repro.core.export import (
     cells_to_csv,
     fit_to_csv,
     node_avf_to_csv,
+    summary_to_csv,
     weighted_avf_to_csv,
 )
 from repro.core.technology import TECHNOLOGY_NODES
@@ -77,6 +78,41 @@ def test_node_avf_csv_covers_all_nodes():
         assert float(row["aggregate_avf"]) == pytest.approx(
             float(row["single_bit_avf"]), abs=1e-5
         )
+
+
+def test_summary_csv_carries_schema_and_incidents():
+    result = small_result()
+    result.incidents = 7
+    parsed = rows(summary_to_csv(result))
+    assert len(parsed) == 1
+    row = parsed[0]
+    assert int(row["schema"]) >= 2
+    assert int(row["cells"]) == 12
+    assert int(row["incidents"]) == 7
+    assert int(row["total_injections"]) == sum(
+        cell.counts.total for cell in result.cells
+    )
+
+
+def test_result_json_schema_round_trip_and_legacy_load():
+    import json
+
+    from repro.core.campaign import RESULT_SCHEMA
+
+    result = small_result()
+    result.incidents = 3
+    restored = CampaignResult.from_json(result.to_json())
+    assert restored.incidents == 3
+    assert restored.schema == RESULT_SCHEMA
+
+    # A pre-schema blob (cells only) must still load, defaulting the meta.
+    legacy = json.dumps(
+        {"cells": [cell.as_dict() for cell in result.cells]}
+    )
+    old = CampaignResult.from_json(legacy)
+    assert old.incidents == 0
+    assert old.schema == 1
+    assert len(old) == len(result)
 
 
 def test_fit_csv_decomposition_sums():
