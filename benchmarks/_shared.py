@@ -8,6 +8,8 @@ one set of simulations.  Scale knobs (environment variables):
   cell; default 10 for a laptop-scale run, 2000 for the paper's setup.
 * ``REPRO_WORKLOADS`` — comma-separated subset of the 15 workloads.
 * ``REPRO_SEED``      — campaign seed (default 0).
+* ``REPRO_JOBS``      — worker processes for the campaign (default 1;
+  results are byte-identical at any value, see ``repro.core.parallel``).
 * ``REPRO_MAX_INCIDENTS`` — infra-incident budget before aborting
   (default: unlimited; incidents land in ``benchmarks/.cache/incidents.jsonl``).
 
@@ -75,9 +77,10 @@ def shared_campaign(progress: bool = True) -> CampaignResult:
             flush=True,
         )
 
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
     result = run_campaign(
         config, progress=report if progress else None, store=store,
-        supervisor=supervisor, resume=True,
+        supervisor=supervisor, resume=True, jobs=jobs,
     )
     if progress:
         print(file=sys.stderr)

@@ -12,6 +12,9 @@ This package is the GeFIN-equivalent layer of the reproduction:
 * :mod:`repro.core.campaign` — statistical fault-injection campaigns over
   (workload × component × cardinality) cells, with golden-run caching and
   disk-cacheable results;
+* :mod:`repro.core.parallel` — the multi-core campaign executor: cell
+  sharding with workload affinity, single-writer store, worker-crash
+  containment, byte-identical to the serial path;
 * :mod:`repro.core.sampling` — Leveugle et al. sample-size / error-margin
   statistics (§III.A);
 * :mod:`repro.core.avf` — AVF math: per-cell AVF, execution-time-weighted

@@ -22,6 +22,8 @@ import copy
 import hashlib
 import json
 import random
+from bisect import bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
@@ -31,7 +33,7 @@ from repro.core.classify import TIMEOUT_FACTOR, FaultClass, classify
 from repro.core.faults import FaultMask
 from repro.core.generator import CLUSTERED, ClusterShape, MultiBitFaultGenerator
 from repro.core.injector import inject
-from repro.errors import ConfigError
+from repro.errors import CampaignInterrupted, ConfigError
 from repro.kernel.status import RunResult, RunStatus
 from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
 from repro.cpu.system import COMPONENT_NAMES, System
@@ -45,7 +47,48 @@ DEFAULT_CARDINALITIES = (1, 2, 3)
 #: a broken toolchain cannot hang the campaign before it starts.
 GOLDEN_MAX_CYCLES = 50_000_000
 
-_GOLDEN_CACHE: dict[tuple[str, str], RunResult] = {}
+
+class _BoundedCache:
+    """A tiny LRU mapping: both campaign caches are instances of this.
+
+    ``CoreConfig`` is a frozen dataclass (as is its ``MemoryLayout``
+    field), so it hashes by value — two equal configs share one cache
+    entry, where the old ``repr``-keyed golden cache and the
+    equality-scanning checkpoint cache each had their own notion of
+    platform identity.  The bound keeps long multi-config sessions (e.g.
+    the protection-scheme ablations) from accumulating entries forever.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: Golden results are small (cycle counts + output bytes); checkpoint sets
+#: hold tens of MB of deepcopied systems per workload, so that cache stays
+#: near the working set of one campaign pass (current + previous workload).
+GOLDEN_CACHE_SIZE = 64
+CHECKPOINT_CACHE_SIZE = 2
+
+_GOLDEN_CACHE: _BoundedCache = _BoundedCache(GOLDEN_CACHE_SIZE)
 
 
 def golden_run(
@@ -59,7 +102,7 @@ def golden_run(
     output: a mismatch means the toolchain itself is broken, and no
     injection campaign on top of it would mean anything.
     """
-    cache_key = (workload.name, repr(core_cfg))
+    cache_key = (workload.name, core_cfg)
     cached = _GOLDEN_CACHE.get(cache_key)
     if cached is not None:
         return cached
@@ -76,7 +119,7 @@ def golden_run(
             f"golden run of {workload.name} does not match its reference "
             f"output — toolchain bug"
         )
-    _GOLDEN_CACHE[cache_key] = result
+    _GOLDEN_CACHE.put(cache_key, result)
     return result
 
 
@@ -302,37 +345,32 @@ class CheckpointedWorkload:
             if not system.run_until(target, golden.cycles + 1):
                 break  # pragma: no cover - golden run is deterministic
             self._checkpoints.append((system.cycle, copy.deepcopy(system)))
+        self._cycles = [snap_cycle for snap_cycle, _ in self._checkpoints]
 
     def system_at(self, cycle: int) -> System:
         """A fresh system advanced to the latest checkpoint <= *cycle*."""
-        best = None
-        for snap_cycle, snapshot in self._checkpoints:
-            if snap_cycle <= cycle:
-                best = snapshot
-            else:
-                break
-        if best is None:
+        index = bisect_right(self._cycles, cycle) - 1
+        if index < 0:
             system = System(self.core_cfg)
             system.load(self.workload.program())
             return system
-        return copy.deepcopy(best)
+        return copy.deepcopy(self._checkpoints[index][1])
 
 
-_CHECKPOINT_CACHE: dict[str, CheckpointedWorkload] = {}
+_CHECKPOINT_CACHE: _BoundedCache = _BoundedCache(CHECKPOINT_CACHE_SIZE)
 
 
 def _checkpoints_for(
     workload: Workload, core_cfg: CoreConfig
 ) -> CheckpointedWorkload:
-    # Keep only the most recent workload's snapshots: campaigns iterate
-    # workload-major, and snapshots are tens of MB across all 15.
-    # Compare configs by value: two equal CoreConfig instances describe the
-    # same platform, and rebuilding snapshots for them would be pure waste.
-    cached = _CHECKPOINT_CACHE.get(workload.name)
-    if cached is None or cached.core_cfg != core_cfg:
-        _CHECKPOINT_CACHE.clear()
+    # Keyed by (workload, platform) value, like the golden cache, and
+    # LRU-bounded: campaigns iterate workload-major, and snapshot sets are
+    # tens of MB each across all 15 workloads.
+    key = (workload.name, core_cfg)
+    cached = _CHECKPOINT_CACHE.get(key)
+    if cached is None:
         cached = CheckpointedWorkload(workload, core_cfg)
-        _CHECKPOINT_CACHE[workload.name] = cached
+        _CHECKPOINT_CACHE.put(key, cached)
     return cached
 
 
@@ -443,6 +481,7 @@ def run_cell(
     cell_key: str | None = None,
     checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = True,
+    stop: Callable[[], bool] | None = None,
 ) -> CellResult:
     """Run all of one cell's injections.
 
@@ -453,6 +492,10 @@ def run_cell(
     infra failures become journalled incidents instead of aborting the cell
     (such samples are dropped from the histogram — they are not fault
     effects, so ``counts.total`` may be less than ``config.samples``).
+    *stop* is probed between samples; when it returns true the cell flushes
+    one final checkpoint (so a later resume is bit-identical) and raises
+    :class:`~repro.errors.CampaignInterrupted` — the graceful-drain hook of
+    the parallel executor and of Ctrl-C handling.
     """
     workload = get_workload(workload_name)
     golden = golden_run(workload, core_cfg)
@@ -472,6 +515,19 @@ def run_cell(
             cycle_rng.setstate(partial.cycle_rng_state)
             generator.set_rng_state(partial.generator_rng_state)
     for index in range(start, config.samples):
+        if stop is not None and stop():
+            if store is not None and cell_key is not None and index > start:
+                store.put_partial(cell_key, CellCheckpoint(
+                    samples_done=index,
+                    counts=counts,
+                    cycle_rng_state=cycle_rng.getstate(),
+                    generator_rng_state=generator.rng_state(),
+                    golden_cycles=golden.cycles,
+                ))
+            raise CampaignInterrupted(
+                f"stopped {workload_name}/{component}/{cardinality}-bit at "
+                f"sample {index}/{config.samples}"
+            )
         inject_cycle = cycle_rng.randrange(golden.cycles)
         if supervisor is not None:
             fault_class = supervisor.run_injection(
@@ -534,8 +590,22 @@ def run_campaign(
     supervisor: "SupervisorLike | None" = None,
     checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = True,
+    jobs: int = 1,
 ) -> CampaignResult:
-    """Run (or resume, via *store*) a full campaign."""
+    """Run (or resume, via *store*) a full campaign.
+
+    ``jobs > 1`` shards the cell grid across a multiprocessing worker pool
+    (see :mod:`repro.core.parallel`); cells are independently seeded, so
+    the merged result is byte-identical to the serial run.
+    """
+    if jobs > 1:
+        from repro.core.parallel import run_campaign_parallel
+
+        return run_campaign_parallel(
+            config, jobs=jobs, progress=progress, store=store,
+            core_cfg=core_cfg, supervisor=supervisor,
+            checkpoint_every=checkpoint_every, resume=resume,
+        )
     cells = config.cells()
     results: list[CellResult] = []
     for index, (workload, component, cardinality) in enumerate(cells):
@@ -584,6 +654,7 @@ class CampaignStore:
         self._data: dict[str, dict] = {}
         self._partials: dict[str, dict] = {}
         self._mutations_since_compact = 0
+        self._journal_handle = None
         self.quarantined: Path | None = None
         self._load()
 
@@ -645,10 +716,15 @@ class CampaignStore:
     # -- mutation ----------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.journal_path.open("a") as journal:
-            journal.write(json.dumps(record) + "\n")
-            journal.flush()
+        # One persistent append handle instead of an open/close per record:
+        # the journal is the hot path of a 540-cell campaign (every cell
+        # result and every mid-cell checkpoint lands here).  O_APPEND keeps
+        # concurrent stores on the same path line-atomic, as before.
+        if self._journal_handle is None or self._journal_handle.closed:
+            self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+            self._journal_handle = self.journal_path.open("a")
+        self._journal_handle.write(json.dumps(record) + "\n")
+        self._journal_handle.flush()
         self._mutations_since_compact += 1
         if self._mutations_since_compact >= self.compact_every:
             self.compact()
@@ -668,17 +744,32 @@ class CampaignStore:
             self._append({"op": "clear_partial", "key": key})
 
     def compact(self) -> None:
-        """Fold the journal into an atomically-replaced snapshot."""
+        """Fold the journal into an atomically-replaced snapshot.
+
+        Snapshots are key-sorted, so two stores holding the same cells are
+        byte-identical regardless of arrival order — this is what lets CI
+        compare a parallel run's store against a serial reference with
+        ``cmp`` after compaction.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         tmp.write_text(json.dumps({
             "schema": STORE_SCHEMA,
             "cells": self._data,
             "partials": self._partials,
-        }))
+        }, sort_keys=True))
         tmp.replace(self.path)
+        if self._journal_handle is not None and not self._journal_handle.closed:
+            self._journal_handle.close()
+        self._journal_handle = None
         self.journal_path.write_text("")
         self._mutations_since_compact = 0
+
+    def close(self) -> None:
+        """Release the journal handle (appends reopen it on demand)."""
+        if self._journal_handle is not None and not self._journal_handle.closed:
+            self._journal_handle.close()
+        self._journal_handle = None
 
     # -- access ------------------------------------------------------------
 

@@ -4,6 +4,7 @@ Examples::
 
     repro-campaign run --samples 50 --workloads crc32 sha --out results.json
     repro-campaign run --store store.json --resume --max-incidents 20
+    repro-campaign run --jobs 4 --store store.json   # multi-core, same bytes
     repro-campaign incidents --journal store.json.incidents.jsonl
     repro-campaign report --results results.json --artifact table5
     repro-campaign golden
@@ -99,6 +100,11 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         help="persist mid-cell progress every N samples "
         f"(default {DEFAULT_CHECKPOINT_EVERY}; 0 disables)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; cells are sharded across them and merged "
+        "deterministically (byte-identical to --jobs 1; default 1)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
@@ -151,12 +157,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             supervisor=supervisor,
             checkpoint_every=args.checkpoint_every or None,
             resume=args.resume,
+            jobs=args.jobs,
         )
     except InjectionIncident as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         if journal.path is not None:
             print(f"incident journal: {journal.path}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print(
+            "campaign interrupted — mid-cell checkpoints flushed"
+            + (", rerun with --resume to continue bit-identically"
+               if store is not None else ""),
+            file=sys.stderr,
+        )
+        return 130
     if supervisor.incident_count:
         where = journal.path if journal.path is not None else "in-memory only"
         print(

@@ -1,0 +1,624 @@
+"""Parallel campaign execution: multi-core cell scheduler, deterministic merge.
+
+The campaign grid (15 workloads × 6 components × 3 cardinalities in the
+paper's setup) is embarrassingly parallel at cell granularity: every cell
+seeds its own fault generator and injection-cycle RNG from
+``f"{seed}:{workload}:{component}:{cardinality}"``, so no cell's outcome
+depends on any other cell's execution, and a parallel run is bit-identical
+to the serial one *by construction* — the scheduler only has to merge
+results back into the canonical ``config.cells()`` order.
+
+Architecture (one parent, N workers):
+
+* **Sharding with workload affinity.**  Cells are grouped by workload and
+  groups are handed to workers whole, so a worker builds the expensive
+  :class:`~repro.core.campaign.CheckpointedWorkload` snapshot set once per
+  workload instead of once per cell.  When there are fewer workloads than
+  workers, the largest groups are split (the halves still share a
+  workload, and each worker's golden/checkpoint caches stay warm).
+* **Single-writer store.**  Workers never touch the
+  :class:`~repro.core.campaign.CampaignStore`; they stream ``CellResult``s
+  and mid-cell checkpoints over a result queue to the parent, which is the
+  only process appending to the store journal and the incident journal —
+  the crash-safety invariants of the store (one writer, line-atomic
+  appends, atomic compaction) survive parallelism untouched.
+* **Incident forwarding.**  Each worker wraps injections in its own
+  :class:`~repro.core.supervisor.Supervisor` whose journal is a queue
+  proxy; the parent appends forwarded incidents to the real journal and
+  enforces the *global* ``max_incidents`` budget and ``--strict``.
+* **Worker-crash containment.**  A worker that dies outright (segfault,
+  OOM-kill, ...) becomes a journalled incident of kind ``worker-crash``;
+  its unfinished cells are rescheduled (resuming from the last streamed
+  checkpoint, so no samples are lost and the result is still
+  bit-identical) and a replacement worker is spawned.  Crash incidents
+  count against ``max_incidents``/``strict`` but not against the
+  result's lost-sample ``incidents`` field — a rescheduled cell completes
+  with every sample intact.
+* **Graceful Ctrl-C.**  On ``KeyboardInterrupt`` the parent sets a stop
+  event; workers finish their current sample, flush one final mid-cell
+  checkpoint through the queue, and exit.  The parent drains the queue,
+  persists every checkpoint, compacts the store and re-raises — rerunning
+  with ``--resume`` continues bit-identically.
+
+Ordering: the progress callback fires in canonical cell order (the parent
+buffers out-of-order completions), so ``--jobs N`` produces the same
+progress sequence — and the same ``CampaignResult.to_json()`` bytes — as
+the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import signal
+import traceback as traceback_module
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core.campaign import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CampaignConfig,
+    CampaignResult,
+    CampaignStore,
+    CellCheckpoint,
+    CellResult,
+    ProgressFn,
+    run_cell,
+)
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.errors import (
+    CampaignInterrupted,
+    IncidentBudgetExceeded,
+    InjectionIncident,
+    WorkerCrash,
+)
+
+#: How long the parent waits on the result queue before polling worker
+#: liveness.  Small enough that a crashed worker is noticed promptly,
+#: large enough not to busy-wait.
+_POLL_INTERVAL = 0.1
+
+#: Replacement workers spawned after crashes, per original worker slot.
+#: A deterministic crash (same cell kills every worker that touches it)
+#: must converge to an error instead of respawning forever.
+_RESTARTS_PER_WORKER = 2
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform offers it (cheap, inherits warm caches);
+    spawn otherwise.  Determinism is identical either way — workers
+    re-derive everything from the cell seed."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """One cell's marching orders, parent → worker."""
+
+    index: int  # position in config.cells() — the merge key
+    workload: str
+    component: str
+    cardinality: int
+    cell_key: str
+    partial: dict | None  # serialised CellCheckpoint to resume from
+
+
+class _QueueJournal:
+    """Worker-side incident journal: forwards every record to the parent."""
+
+    def __init__(self, result_queue, worker_id: int) -> None:
+        self._queue = result_queue
+        self._worker_id = worker_id
+        self.incidents: list = []  # Supervisor reads len() nowhere, kept for shape
+
+    def append(self, incident) -> None:
+        self._queue.put(("incident", self._worker_id, incident.as_dict()))
+
+
+class _QueueStore:
+    """Worker-side store proxy: resume data in, checkpoints out.
+
+    Duck-types the two methods :func:`run_cell` uses.  ``get_partial``
+    serves the checkpoint the parent attached to the task; ``put_partial``
+    streams new checkpoints to the parent, the single real-store writer.
+    """
+
+    def __init__(self, result_queue, worker_id: int, task: _CellTask) -> None:
+        self._queue = result_queue
+        self._worker_id = worker_id
+        self._task = task
+
+    def get_partial(self, key: str) -> CellCheckpoint | None:
+        if self._task.partial is None or key != self._task.cell_key:
+            return None
+        try:
+            return CellCheckpoint.from_dict(self._task.partial)
+        except (KeyError, ValueError, TypeError):  # pragma: no cover
+            return None
+
+    def put_partial(self, key: str, checkpoint: CellCheckpoint) -> None:
+        self._queue.put(
+            ("partial", self._worker_id, self._task.index, key,
+             checkpoint.as_dict())
+        )
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    config: CampaignConfig,
+    core_cfg: CoreConfig,
+    supervised: bool,
+    strict: bool,
+    watchdog: bool,
+    checkpoint_every: int | None,
+    stop_event,
+    crash_spec: dict | None,
+) -> None:
+    """Worker loop: request a task batch, run its cells, stream results.
+
+    SIGINT is ignored here — shutdown is the parent's job, delivered via
+    *stop_event* and probed between samples so the final checkpoint of an
+    interrupted cell still reaches the parent.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    supervisor = None
+    if supervised:
+        from repro.core.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            journal=_QueueJournal(result_queue, worker_id),
+            max_incidents=None,  # the parent enforces the global budget
+            strict=strict,
+            watchdog=watchdog,
+        )
+    result_queue.put(("ready", worker_id))
+    while True:
+        try:
+            batch = task_queue.get(timeout=60.0)
+        except queue_module.Empty:
+            if stop_event.is_set():  # pragma: no cover - parent gave up
+                return
+            continue  # pragma: no cover - parent merely busy
+        if batch is None:
+            result_queue.put(("bye", worker_id))
+            return
+        for task in batch:
+            if stop_event.is_set():
+                result_queue.put(("stopped", worker_id))
+                return
+            if crash_spec is not None and crash_spec["cell"] == [
+                task.workload, task.component, task.cardinality
+            ]:
+                # Test hook: die hard (no cleanup, no queue message) the
+                # first time any worker reaches this cell, exactly like a
+                # segfault would.  The flag file keeps the rescheduled
+                # cell from killing its next worker too.
+                flag = Path(crash_spec["flag"])
+                if not flag.exists():
+                    flag.touch()
+                    os._exit(crash_spec.get("exit_code", 64))
+            result_queue.put(("start", worker_id, task.index))
+            store_proxy = _QueueStore(result_queue, worker_id, task)
+            try:
+                cell = run_cell(
+                    task.workload, task.component, task.cardinality,
+                    config, core_cfg,
+                    supervisor=supervisor,
+                    store=store_proxy, cell_key=task.cell_key,
+                    checkpoint_every=checkpoint_every, resume=True,
+                    stop=stop_event.is_set,
+                )
+            except CampaignInterrupted:
+                result_queue.put(("stopped", worker_id))
+                return
+            except InjectionIncident as exc:
+                # --strict escalation: the incident itself was already
+                # forwarded by the queue journal; tell the parent to abort.
+                result_queue.put(
+                    ("fatal", worker_id, task.index,
+                     type(exc).__name__, str(exc))
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - must not hang the pool
+                result_queue.put(
+                    ("fatal", worker_id, task.index, type(exc).__name__,
+                     f"{exc}\n{traceback_module.format_exc()}")
+                )
+                return
+            result_queue.put(("cell", worker_id, task.index, cell.as_dict()))
+        result_queue.put(("ready", worker_id))
+
+
+def _affinity_batches(tasks: list[_CellTask], jobs: int) -> list[list[_CellTask]]:
+    """Group tasks by workload, splitting large groups to feed all workers.
+
+    Whole-workload batches maximise checkpoint-cache reuse; splitting only
+    kicks in when there are fewer workloads than workers, and the split
+    halves still share a workload.
+    """
+    by_workload: dict[str, list[_CellTask]] = {}
+    for task in tasks:
+        by_workload.setdefault(task.workload, []).append(task)
+    batches = list(by_workload.values())
+    while len(batches) < min(jobs, len(tasks)):
+        largest = max(range(len(batches)), key=lambda i: len(batches[i]))
+        if len(batches[largest]) < 2:
+            break
+        group = batches.pop(largest)
+        half = len(group) // 2
+        batches.insert(largest, group[half:])
+        batches.insert(largest, group[:half])
+    # Longest batches first: better tail latency under dynamic dispatch.
+    batches.sort(key=len, reverse=True)
+    return batches
+
+
+class _Pool:
+    """The worker processes plus everything needed to replace one."""
+
+    def __init__(
+        self,
+        ctx,
+        jobs: int,
+        worker_args: tuple,
+    ) -> None:
+        self.ctx = ctx
+        self.worker_args = worker_args
+        self.result_queue = worker_args[0]
+        self.workers: dict[int, object] = {}
+        self.task_queues: dict[int, object] = {}
+        self.assigned: dict[int, list[_CellTask]] = {}
+        self.finished: set[int] = set()
+        self._next_id = 0
+        self.restarts = 0
+        self.max_restarts = jobs * _RESTARTS_PER_WORKER
+        for _ in range(jobs):
+            self.spawn()
+
+    def spawn(self) -> int:
+        worker_id = self._next_id
+        self._next_id += 1
+        task_queue = self.ctx.Queue()
+        result_queue, config, core_cfg, supervised, strict, watchdog, \
+            checkpoint_every, stop_event, crash_spec = self.worker_args
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, result_queue, config, core_cfg,
+                  supervised, strict, watchdog, checkpoint_every,
+                  stop_event, crash_spec),
+            daemon=True,
+        )
+        proc.start()
+        self.workers[worker_id] = proc
+        self.task_queues[worker_id] = task_queue
+        self.assigned[worker_id] = []
+        return worker_id
+
+    def live_ids(self) -> list[int]:
+        return [wid for wid in self.workers if wid not in self.finished]
+
+    def dead_ids(self) -> list[int]:
+        return [
+            wid for wid, proc in self.workers.items()
+            if wid not in self.finished and not proc.is_alive()
+        ]
+
+    def retire(self, worker_id: int) -> None:
+        self.finished.add(worker_id)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        for worker_id in self.live_ids():
+            try:
+                self.task_queues[worker_id].put_nowait(None)
+            except Exception:  # pragma: no cover - full/broken queue
+                pass
+        for proc in self.workers.values():
+            proc.join(timeout=timeout)
+        for proc in self.workers.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+
+def run_campaign_parallel(
+    config: CampaignConfig,
+    jobs: int,
+    progress: ProgressFn | None = None,
+    store: CampaignStore | None = None,
+    core_cfg: CoreConfig = DEFAULT_CONFIG,
+    *,
+    supervisor=None,
+    checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = True,
+    _crash_spec: dict | None = None,
+) -> CampaignResult:
+    """Run a campaign across *jobs* worker processes.
+
+    Drop-in equivalent of the serial :func:`~repro.core.campaign.run_campaign`
+    body: same store semantics (cached cells are served without
+    simulation, new cells are persisted as they finish), same supervisor
+    contract (*supervisor*'s journal receives every incident and its
+    ``incident_count`` grows), same result — byte-identical JSON.
+
+    *_crash_spec* is a test hook: ``{"cell": [w, c, k], "flag": path}``
+    makes the first worker that reaches that cell die unannounced, which
+    exercises crash containment and rescheduling deterministically.
+    """
+    cells = config.cells()
+    total = len(cells)
+    results: dict[int, CellResult] = {}
+    tasks: list[_CellTask] = []
+    keys: dict[int, str] = {}
+    for index, (workload, component, cardinality) in enumerate(cells):
+        key = config.cell_key(workload, component, cardinality, core_cfg)
+        keys[index] = key
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            results[index] = cached
+            continue
+        partial = None
+        if store is not None and resume:
+            checkpoint = store.get_partial(key)
+            if checkpoint is not None:
+                partial = checkpoint.as_dict()
+        tasks.append(_CellTask(
+            index=index, workload=workload, component=component,
+            cardinality=cardinality, cell_key=key, partial=partial,
+        ))
+
+    emitted = 0
+
+    def emit_progress() -> int:
+        nonlocal emitted
+        if progress is not None:
+            while emitted in results:
+                progress(emitted + 1, total, results[emitted])
+                emitted += 1
+        return emitted
+
+    emit_progress()
+    lost_sample_incidents = 0
+    if not tasks:
+        return CampaignResult(
+            [results[i] for i in range(total)],
+            incidents=lost_sample_incidents,
+        )
+
+    from repro.core.supervisor import Incident
+
+    strict = bool(getattr(supervisor, "strict", False))
+    watchdog = bool(getattr(supervisor, "watchdog", True))
+    max_incidents = getattr(supervisor, "max_incidents", None)
+    journal = getattr(supervisor, "journal", None)
+
+    def record_incident(incident: Incident) -> None:
+        if journal is not None:
+            journal.append(incident)
+        if supervisor is not None:
+            supervisor.incident_count += 1
+
+    ctx = _context()
+    stop_event = ctx.Event()
+    result_queue = ctx.Queue()
+    jobs = max(1, min(jobs, len(tasks)))
+    batches = _affinity_batches(tasks, jobs)
+    pool = _Pool(ctx, min(jobs, len(batches)), (
+        result_queue, config, core_cfg, supervisor is not None, strict,
+        watchdog, checkpoint_every, stop_event, _crash_spec,
+    ))
+    # Parent-held copies of the freshest checkpoint per in-flight cell:
+    # what a rescheduled cell resumes from when its worker died between
+    # store writes and completion.
+    live_partials: dict[int, dict] = {task.index: task.partial for task in tasks}
+    pending_done = {task.index for task in tasks}
+    total_incidents = 0
+    abort_exc: Exception | None = None
+
+    def handle_crash(worker_id: int) -> None:
+        nonlocal total_incidents, abort_exc
+        proc = pool.workers[worker_id]
+        pool.retire(worker_id)
+        remaining = [
+            task for task in pool.assigned[worker_id]
+            if task.index in pending_done
+        ]
+        pool.assigned[worker_id] = []
+        label = (
+            f"{remaining[0].workload}/{remaining[0].component}/"
+            f"{remaining[0].cardinality}-bit" if remaining else "idle"
+        )
+        first = remaining[0] if remaining else None
+        incident = Incident(
+            kind="worker-crash",
+            workload=first.workload if first else "-",
+            component=first.component if first else "-",
+            cardinality=first.cardinality if first else 0,
+            cell_seed=(
+                f"{config.seed}:{first.workload}:{first.component}:"
+                f"{first.cardinality}" if first else ""
+            ),
+            sample_index=-1,
+            inject_cycle=-1,
+            mask=None,
+            error_type="WorkerCrash",
+            message=(
+                f"worker {worker_id} (pid {proc.pid}) died with exit code "
+                f"{proc.exitcode} while running {label}; "
+                f"{len(remaining)} cell(s) rescheduled"
+            ),
+            traceback="",
+        )
+        record_incident(incident)
+        total_incidents += 1
+        if strict:
+            abort_exc = InjectionIncident(
+                f"[strict] {incident.message}"
+            )
+            return
+        if max_incidents is not None and total_incidents > max_incidents:
+            abort_exc = IncidentBudgetExceeded(
+                f"{total_incidents} incidents exceed the budget of "
+                f"{max_incidents} (last: {incident.message})"
+            )
+            return
+        if pool.restarts >= pool.max_restarts:
+            abort_exc = WorkerCrash(
+                f"workers crashed {pool.restarts + 1} times (budget "
+                f"{pool.max_restarts}); the crash appears deterministic — "
+                f"last: {incident.message}"
+            )
+            return
+        if remaining:
+            refreshed = [
+                _CellTask(
+                    index=task.index, workload=task.workload,
+                    component=task.component, cardinality=task.cardinality,
+                    cell_key=task.cell_key,
+                    partial=live_partials.get(task.index),
+                )
+                for task in remaining
+            ]
+            batches.append(refreshed)
+        pool.restarts += 1
+        pool.spawn()
+
+    try:
+        while pending_done and abort_exc is None:
+            try:
+                message = result_queue.get(timeout=_POLL_INTERVAL)
+            except queue_module.Empty:
+                for worker_id in pool.dead_ids():
+                    handle_crash(worker_id)
+                    if abort_exc is not None:
+                        break
+                continue
+            kind = message[0]
+            if kind == "ready":
+                worker_id = message[1]
+                if worker_id in pool.finished:
+                    continue
+                if batches:
+                    batch = batches.pop(0)
+                    pool.assigned[worker_id] = batch
+                    pool.task_queues[worker_id].put(batch)
+                else:
+                    pool.assigned[worker_id] = []
+                    pool.task_queues[worker_id].put(None)
+            elif kind == "start":
+                pass  # liveness breadcrumb only
+            elif kind == "partial":
+                _, _, index, key, state = message
+                live_partials[index] = state
+                if store is not None and index in pending_done:
+                    store.put_partial(key, CellCheckpoint.from_dict(state))
+            elif kind == "cell":
+                _, _, index, data = message
+                if index not in pending_done:
+                    continue  # duplicate from a raced reschedule
+                cell = CellResult.from_dict(data)
+                results[index] = cell
+                pending_done.discard(index)
+                live_partials.pop(index, None)
+                if store is not None:
+                    store.put(keys[index], cell)
+                emit_progress()
+            elif kind == "incident":
+                _, _, data = message
+                record_incident(Incident.from_dict(data))
+                total_incidents += 1
+                lost_sample_incidents += 1
+                if (
+                    max_incidents is not None
+                    and total_incidents > max_incidents
+                ):
+                    abort_exc = IncidentBudgetExceeded(
+                        f"{total_incidents} incidents exceed the budget of "
+                        f"{max_incidents}; campaign statistics are no "
+                        f"longer trustworthy"
+                    )
+            elif kind == "fatal":
+                _, worker_id, index, error_type, detail = message
+                pool.retire(worker_id)
+                abort_exc = InjectionIncident(
+                    f"worker {worker_id} aborted on cell "
+                    f"{cells[index][0]}/{cells[index][1]}/{cells[index][2]}"
+                    f"-bit: {error_type}: {detail}"
+                )
+            elif kind == "bye" or kind == "stopped":
+                pool.retire(message[1])
+    except KeyboardInterrupt:
+        # Graceful drain: let every worker finish its current sample,
+        # flush its final mid-cell checkpoint, and exit; persist whatever
+        # arrives so --resume continues bit-identically.
+        stop_event.set()
+        _drain_for_checkpoints(result_queue, pool, store, keys,
+                               live_partials, pending_done)
+        if store is not None:
+            store.compact()
+        raise
+    finally:
+        stop_event.set()
+        pool.shutdown()
+
+    if abort_exc is not None:
+        if store is not None:
+            store.compact()
+        raise abort_exc
+    return CampaignResult(
+        [results[i] for i in range(total)],
+        incidents=lost_sample_incidents,
+    )
+
+
+def _drain_for_checkpoints(
+    result_queue,
+    pool: _Pool,
+    store: CampaignStore | None,
+    keys: dict[int, str],
+    live_partials: dict[int, dict],
+    pending_done: set[int],
+    timeout: float = 10.0,
+) -> None:
+    """Absorb in-flight messages while stopping workers wind down.
+
+    Everything durable that arrives during the drain — final mid-cell
+    checkpoints, cells that completed in the shutdown window — is written
+    to the store, so an interrupted ``--jobs N`` run loses at most the
+    unsampled remainder of each worker's current injection.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while pool.live_ids() and time.monotonic() < deadline:
+        try:
+            message = result_queue.get(timeout=_POLL_INTERVAL)
+        except queue_module.Empty:
+            for worker_id in pool.dead_ids():
+                pool.retire(worker_id)
+            continue
+        kind = message[0]
+        if kind == "partial":
+            _, _, index, key, state = message
+            live_partials[index] = state
+            if store is not None and index in pending_done:
+                store.put_partial(key, CellCheckpoint.from_dict(state))
+        elif kind == "cell":
+            _, _, index, data = message
+            if store is not None and index in pending_done:
+                store.put(keys[index], CellResult.from_dict(data))
+            pending_done.discard(index)
+        elif kind == "ready":
+            # A worker idling between batches: release it immediately.
+            worker_id = message[1]
+            if worker_id not in pool.finished:
+                pool.task_queues[worker_id].put(None)
+        elif kind in ("stopped", "bye"):
+            pool.retire(message[1])

@@ -58,11 +58,15 @@ WATCHDOG_SLACK_STEPS = 10_000
 class Incident:
     """One contained infra failure, with everything needed to reproduce it.
 
-    ``kind`` is ``"exception"`` for an unexpected Python error and
-    ``"watchdog"`` for a step-budget trip (simulator livelock).  ``mask``
-    is the serialised :class:`~repro.core.faults.FaultMask` when the
-    failure happened after mask generation, else ``None`` (the cell seed +
-    sample index still reproduce it deterministically).
+    ``kind`` is ``"exception"`` for an unexpected Python error,
+    ``"watchdog"`` for a step-budget trip (simulator livelock), and
+    ``"worker-crash"`` for a parallel-campaign worker process that died
+    outright (see :mod:`repro.core.parallel`; ``sample_index`` and
+    ``inject_cycle`` are ``-1`` there — the cell was rescheduled, not
+    lost).  ``mask`` is the serialised
+    :class:`~repro.core.faults.FaultMask` when the failure happened after
+    mask generation, else ``None`` (the cell seed + sample index still
+    reproduce it deterministically).
     """
 
     kind: str

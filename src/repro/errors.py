@@ -59,6 +59,28 @@ class InjectionIncident(ReproError):
     """
 
 
+class CampaignInterrupted(ReproError):
+    """A campaign was asked to stop (Ctrl-C / stop event) and wound down.
+
+    Raised by :func:`repro.core.campaign.run_cell` when its *stop* probe
+    fires between samples, after flushing a mid-cell checkpoint so the
+    interrupted cell resumes bit-identically.  The parallel executor uses
+    this for graceful worker drain; it is not an error in the campaign
+    itself.
+    """
+
+
+class WorkerCrash(InjectionIncident):
+    """A parallel campaign worker process died outright.
+
+    The parent turns the death into a journalled incident and reschedules
+    the worker's in-flight cells (they resume from the last streamed
+    checkpoint, so no samples are lost); this exception surfaces only when
+    crashes repeat beyond the restart budget, which means the crash is
+    deterministic and rescheduling cannot converge.
+    """
+
+
 class WatchdogTimeout(InjectionIncident):
     """The per-injection step-count watchdog tripped.
 

@@ -53,6 +53,61 @@ def test_snapshots_are_isolated():
     assert result.output == golden.output
 
 
+def test_system_at_bisect_picks_latest_checkpoint_not_after():
+    workload = get_workload(WORKLOAD)
+    golden = golden_run(workload)
+    checkpoints = CheckpointedWorkload(workload, snapshots=8)
+    cycles = checkpoints._cycles
+    assert cycles == sorted(cycles)
+    # Exactly on a snapshot, between snapshots, before the first, past the
+    # last: the chosen clone is always the latest checkpoint <= cycle.
+    probes = (
+        [cycles[0] - 1] + list(cycles)
+        + [c + 1 for c in cycles] + [golden.cycles + 5]
+    )
+    for probe in probes:
+        expected = max((c for c in cycles if c <= probe), default=None)
+        system = checkpoints.system_at(probe)
+        if expected is None:
+            assert system.cycle == 0
+        else:
+            assert system.cycle == expected
+
+
+def test_caches_are_keyed_by_config_value_and_bounded():
+    from repro.core import campaign as campaign_module
+    from repro.core.campaign import _checkpoints_for
+    from repro.cpu.config import CoreConfig
+
+    workload = get_workload(WORKLOAD)
+    # CoreConfig hashes by value: equal configs share one cache entry.
+    assert hash(CoreConfig()) == hash(CoreConfig())
+    first = golden_run(workload, CoreConfig())
+    second = golden_run(workload, CoreConfig())
+    assert first is second
+    snaps_a = _checkpoints_for(workload, CoreConfig())
+    snaps_b = _checkpoints_for(workload, CoreConfig())
+    assert snaps_a is snaps_b
+    # Both caches are LRU-bounded.
+    assert len(campaign_module._GOLDEN_CACHE) \
+        <= campaign_module.GOLDEN_CACHE_SIZE
+    assert len(campaign_module._CHECKPOINT_CACHE) \
+        <= campaign_module.CHECKPOINT_CACHE_SIZE
+
+
+def test_bounded_cache_evicts_least_recently_used():
+    from repro.core.campaign import _BoundedCache
+
+    cache = _BoundedCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a
+    cache.put("c", 3)  # evicts b, the LRU entry
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert len(cache) == 2
+
+
 def test_checkpointed_injection_matches_direct():
     workload = get_workload(WORKLOAD)
     golden = golden_run(workload)

@@ -66,6 +66,47 @@ def test_compaction_truncates_journal_and_snapshot_holds_all(tmp_path):
     assert len(CampaignStore(path)) == 3
 
 
+def test_journal_handle_is_persistent_and_reset_by_compaction(tmp_path):
+    path = tmp_path / "store.json"
+    store = CampaignStore(path, compact_every=3)
+    store.put("k0", make_cell("w0"))
+    handle = store._journal_handle
+    assert handle is not None and not handle.closed
+    store.put("k1", make_cell("w1"))
+    assert store._journal_handle is handle  # no reopen per append
+    store.put("k2", make_cell("w2"))  # triggers compaction
+    assert handle.closed and store._journal_handle is None
+    store.put("k3", make_cell("w3"))  # lazily reopens
+    assert store._journal_handle is not None
+    assert len(CampaignStore(path)) == 4
+
+
+def test_close_releases_handle_and_appends_reopen(tmp_path):
+    path = tmp_path / "store.json"
+    store = CampaignStore(path, compact_every=1000)
+    store.put("k0", make_cell("w0"))
+    store.close()
+    assert store._journal_handle is None
+    store.put("k1", make_cell("w1"))
+    assert len(CampaignStore(path)) == 2
+
+
+def test_compacted_snapshots_are_key_sorted_and_order_independent(tmp_path):
+    """Same cells in any arrival order → identical snapshot bytes (what
+    lets CI cmp a parallel store against a serial reference)."""
+    forward, backward = tmp_path / "a.json", tmp_path / "b.json"
+    cells = [(f"k{i}", make_cell(f"w{i}")) for i in range(4)]
+    store_a = CampaignStore(forward)
+    for key, cell in cells:
+        store_a.put(key, cell)
+    store_a.compact()
+    store_b = CampaignStore(backward)
+    for key, cell in reversed(cells):
+        store_b.put(key, cell)
+    store_b.compact()
+    assert forward.read_bytes() == backward.read_bytes()
+
+
 def test_legacy_schema1_snapshot_loads(tmp_path):
     path = tmp_path / "store.json"
     path.write_text(json.dumps({"oldkey": make_cell("legacy").as_dict()}))
