@@ -12,6 +12,9 @@ one set of simulations.  Scale knobs (environment variables):
   results are byte-identical at any value, see ``repro.core.parallel``).
 * ``REPRO_MAX_INCIDENTS`` — infra-incident budget before aborting
   (default: unlimited; incidents land in ``benchmarks/.cache/incidents.jsonl``).
+* ``REPRO_TELEMETRY`` — set to ``0`` to disable campaign telemetry
+  (default on; the run's wall clock, samples/sec and metric summary are
+  stamped into ``benchmarks/output/BENCH_campaign.json``).
 
 The cell cache lives in ``benchmarks/.cache/campaign_store.json`` (snapshot
 + write-ahead journal) and is keyed by the exact cell parameters plus a
@@ -22,10 +25,13 @@ store's partial checkpoints, bit-identical to an uninterrupted run.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from pathlib import Path
 
+from repro import obs
 from repro.core.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -78,10 +84,19 @@ def shared_campaign(progress: bool = True) -> CampaignResult:
         )
 
     jobs = int(os.environ.get("REPRO_JOBS", "1"))
-    result = run_campaign(
-        config, progress=report if progress else None, store=store,
-        supervisor=supervisor, resume=True, jobs=jobs,
-    )
+    telemetry = None
+    if os.environ.get("REPRO_TELEMETRY", "1") != "0":
+        telemetry = obs.enable()
+    begin = time.perf_counter()
+    try:
+        result = run_campaign(
+            config, progress=report if progress else None, store=store,
+            supervisor=supervisor, resume=True, jobs=jobs,
+        )
+    finally:
+        wall = time.perf_counter() - begin
+        if telemetry is not None:
+            obs.disable()
     if progress:
         print(file=sys.stderr)
     if supervisor.incident_count:
@@ -90,7 +105,70 @@ def shared_campaign(progress: bool = True) -> CampaignResult:
             f"contained; see {INCIDENT_JOURNAL_PATH}",
             file=sys.stderr,
         )
+    if telemetry is not None:
+        append_bench_record(
+            "campaign",
+            {
+                "samples": config.samples,
+                "cells": len(config.cells()),
+                "jobs": jobs,
+                "incidents": supervisor.incident_count,
+            },
+            wall_seconds=wall,
+            telemetry=telemetry,
+        )
     return result
+
+
+def append_bench_record(
+    name: str,
+    record: dict,
+    *,
+    wall_seconds: float | None = None,
+    telemetry=None,
+) -> Path:
+    """Append one record to the ``BENCH_<name>.json`` trajectory file.
+
+    Each benchmark output is a trajectory — one record per invocation, so
+    regressions stay visible across commits.  Every record is stamped with
+    the wall clock and, when telemetry is active (explicitly passed or
+    globally enabled via :func:`repro.obs.enable`), the campaign's metric
+    summary (counters/derived rates, no trace events — traces belong in
+    ``repro-campaign trace`` output, not a trajectory file).
+    """
+    record = dict(record)
+    if telemetry is None:
+        telemetry = obs.active()
+    if wall_seconds is None and telemetry is not None:
+        wall_seconds = telemetry.wall_seconds()
+    if wall_seconds is not None:
+        record.setdefault("wall_seconds", round(wall_seconds, 3))
+    if telemetry is not None:
+        summary = telemetry.summary(include_trace=False)
+        if wall_seconds is not None:
+            samples = summary["counters"].get("sim.samples", 0)
+            if samples and wall_seconds > 0:
+                record.setdefault(
+                    "samples_per_sec", round(samples / wall_seconds, 2)
+                )
+        record.setdefault(
+            "telemetry",
+            {
+                "counters": summary["counters"],
+                "derived": summary["derived"],
+            },
+        )
+    path = OUTPUT_DIR / f"BENCH_{name}.json"
+    trajectory = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except ValueError:
+            trajectory = []
+    trajectory.append(record)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trajectory, indent=1) + "\n")
+    return path
 
 
 def write_artifact(name: str, text: str) -> Path:

@@ -16,11 +16,10 @@ The equivalence assertion runs unconditionally; the ≥2× speedup assertion
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from _shared import OUTPUT_DIR
+from _shared import OUTPUT_DIR, append_bench_record
 
 from repro.core.campaign import CampaignConfig, CampaignStore, run_campaign
 
@@ -65,21 +64,16 @@ def test_parallel_scaling(tmp_path):
     for jobs in levels[1:]:
         assert blobs[jobs] == reference, f"jobs={jobs} diverged from serial"
 
-    record = {
-        "samples": config.samples,
-        "cells": len(config.cells()),
-        "cpus": os.cpu_count(),
-        "seconds_by_jobs": timings,
-    }
-    trajectory = []
-    if TRAJECTORY_PATH.exists():
-        try:
-            trajectory = json.loads(TRAJECTORY_PATH.read_text())
-        except ValueError:
-            trajectory = []
-    trajectory.append(record)
-    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=1) + "\n")
+    append_bench_record(
+        "parallel",
+        {
+            "samples": config.samples,
+            "cells": len(config.cells()),
+            "cpus": os.cpu_count(),
+            "seconds_by_jobs": timings,
+        },
+        wall_seconds=sum(timings.values()),
+    )
     print(f"\nparallel scaling: {timings} (cpus={os.cpu_count()})")
 
     if (os.cpu_count() or 1) >= 4 and "1" in timings and "4" in timings:

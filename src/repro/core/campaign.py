@@ -22,6 +22,7 @@ import copy
 import hashlib
 import json
 import random
+import time
 from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -34,6 +35,7 @@ from repro.core.faults import FaultMask
 from repro.core.generator import CLUSTERED, ClusterShape, MultiBitFaultGenerator
 from repro.core.injector import inject
 from repro.errors import CampaignInterrupted, ConfigError
+from repro import obs
 from repro.kernel.status import RunResult, RunStatus
 from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
 from repro.cpu.system import COMPONENT_NAMES, System
@@ -102,13 +104,19 @@ def golden_run(
     output: a mismatch means the toolchain itself is broken, and no
     injection campaign on top of it would mean anything.
     """
+    tel = obs.active()
     cache_key = (workload.name, core_cfg)
     cached = _GOLDEN_CACHE.get(cache_key)
     if cached is not None:
+        if tel is not None:
+            tel.metrics.counter("exec.lru.golden.hits").inc()
         return cached
-    system = System(core_cfg)
-    system.load(workload.program())
-    result = system.run(max_cycles=max_cycles)
+    if tel is not None:
+        tel.metrics.counter("exec.lru.golden.misses").inc()
+    with obs.span("golden-run", workload=workload.name):
+        system = System(core_cfg)
+        system.load(workload.program())
+        result = system.run(max_cycles=max_cycles)
     if result.status is not RunStatus.FINISHED:
         raise ConfigError(
             f"golden run of {workload.name} did not finish within its "
@@ -366,11 +374,17 @@ def _checkpoints_for(
     # Keyed by (workload, platform) value, like the golden cache, and
     # LRU-bounded: campaigns iterate workload-major, and snapshot sets are
     # tens of MB each across all 15 workloads.
+    tel = obs.active()
     key = (workload.name, core_cfg)
     cached = _CHECKPOINT_CACHE.get(key)
     if cached is None:
-        cached = CheckpointedWorkload(workload, core_cfg)
+        if tel is not None:
+            tel.metrics.counter("exec.lru.checkpoint.misses").inc()
+        with obs.span("checkpoint-build", workload=workload.name):
+            cached = CheckpointedWorkload(workload, core_cfg)
         _CHECKPOINT_CACHE.put(key, cached)
+    elif tel is not None:
+        tel.metrics.counter("exec.lru.checkpoint.hits").inc()
     return cached
 
 
@@ -395,11 +409,20 @@ def run_one_injection(
     """
     golden = golden_run(workload, core_cfg)
     max_cycles = TIMEOUT_FACTOR * golden.cycles
+    # Phase timing is guarded per site so the telemetry-off path costs one
+    # attribute check; none of it touches RNGs or simulation state, so the
+    # outcome is bit-identical with telemetry on or off.
+    tel = obs.active()
+    clock = time.perf_counter
+    begin = clock() if tel is not None else 0.0
     if checkpoints is not None:
         system = checkpoints.system_at(inject_cycle)
     else:
         system = System(core_cfg)
         system.load(workload.program())
+    if tel is not None:
+        restored = clock()
+        tel.metrics.histogram("time.phase.restore").observe(restored - begin)
     mask = generator.generate(
         system.injectable_targets()[component], cardinality
     )
@@ -411,9 +434,20 @@ def run_one_injection(
             f"injection cycle {inject_cycle} not reachable in "
             f"{workload.name} (golden={golden.cycles})"
         )
+    if tel is not None:
+        prefixed = clock()
+        tel.metrics.histogram("time.phase.prefix").observe(prefixed - restored)
     inject(system, mask)
     result = system.run(max_cycles, max_steps=max_steps)
-    return classify(result, golden), result, mask
+    if tel is not None:
+        ran = clock()
+        tel.metrics.histogram("time.phase.faulty").observe(ran - prefixed)
+    verdict = classify(result, golden)
+    if tel is not None:
+        tel.metrics.histogram("time.phase.classify").observe(clock() - ran)
+        tel.metrics.counter("sim.injections").inc()
+        system.publish_metrics(tel.metrics)
+    return verdict, result, mask
 
 
 def _rng_state_to_json(state: tuple) -> list:
@@ -497,6 +531,7 @@ def run_cell(
     :class:`~repro.errors.CampaignInterrupted` — the graceful-drain hook of
     the parallel executor and of Ctrl-C handling.
     """
+    tel = obs.active()
     workload = get_workload(workload_name)
     golden = golden_run(workload, core_cfg)
     cell_seed = f"{config.seed}:{workload_name}:{component}:{cardinality}"
@@ -505,6 +540,10 @@ def run_cell(
     )
     cycle_rng = random.Random(f"repro-cycles:{cell_seed}")
     checkpoints = _checkpoints_for(workload, core_cfg)
+    cell_span = obs.span(
+        "cell", workload=workload_name, component=component,
+        cardinality=cardinality,
+    )
     counts = ClassCounts()
     start = 0
     if store is not None and cell_key is not None and resume:
@@ -514,49 +553,62 @@ def run_cell(
             start = partial.samples_done
             cycle_rng.setstate(partial.cycle_rng_state)
             generator.set_rng_state(partial.generator_rng_state)
-    for index in range(start, config.samples):
-        if stop is not None and stop():
-            if store is not None and cell_key is not None and index > start:
+    with cell_span:
+        for index in range(start, config.samples):
+            if stop is not None and stop():
+                if store is not None and cell_key is not None and index > start:
+                    store.put_partial(cell_key, CellCheckpoint(
+                        samples_done=index,
+                        counts=counts,
+                        cycle_rng_state=cycle_rng.getstate(),
+                        generator_rng_state=generator.rng_state(),
+                        golden_cycles=golden.cycles,
+                    ))
+                raise CampaignInterrupted(
+                    f"stopped {workload_name}/{component}/{cardinality}-bit at "
+                    f"sample {index}/{config.samples}"
+                )
+            inject_cycle = cycle_rng.randrange(golden.cycles)
+            if supervisor is not None:
+                fault_class = supervisor.run_injection(
+                    workload, component, generator, cardinality, inject_cycle,
+                    core_cfg, checkpoints=checkpoints,
+                    cell_seed=cell_seed, sample_index=index,
+                )
+            else:
+                fault_class, _, _ = run_one_injection(
+                    workload, component, generator, cardinality, inject_cycle,
+                    core_cfg, checkpoints=checkpoints,
+                )
+            if fault_class is not None:
+                counts.add(fault_class)
+                if tel is not None:
+                    tel.metrics.counter("sim.class." + fault_class.value).inc()
+            elif tel is not None:
+                # Sample lost to a contained incident — schedule-dependent,
+                # so it counts under exec.*, not sim.*.
+                tel.metrics.counter("exec.samples_lost").inc()
+            if tel is not None:
+                tel.metrics.counter("sim.samples").inc()
+            done = index + 1
+            if (
+                store is not None
+                and cell_key is not None
+                and checkpoint_every
+                and done % checkpoint_every == 0
+                and done < config.samples
+            ):
                 store.put_partial(cell_key, CellCheckpoint(
-                    samples_done=index,
+                    samples_done=done,
                     counts=counts,
                     cycle_rng_state=cycle_rng.getstate(),
                     generator_rng_state=generator.rng_state(),
                     golden_cycles=golden.cycles,
                 ))
-            raise CampaignInterrupted(
-                f"stopped {workload_name}/{component}/{cardinality}-bit at "
-                f"sample {index}/{config.samples}"
-            )
-        inject_cycle = cycle_rng.randrange(golden.cycles)
-        if supervisor is not None:
-            fault_class = supervisor.run_injection(
-                workload, component, generator, cardinality, inject_cycle,
-                core_cfg, checkpoints=checkpoints,
-                cell_seed=cell_seed, sample_index=index,
-            )
-        else:
-            fault_class, _, _ = run_one_injection(
-                workload, component, generator, cardinality, inject_cycle,
-                core_cfg, checkpoints=checkpoints,
-            )
-        if fault_class is not None:
-            counts.add(fault_class)
-        done = index + 1
-        if (
-            store is not None
-            and cell_key is not None
-            and checkpoint_every
-            and done % checkpoint_every == 0
-            and done < config.samples
-        ):
-            store.put_partial(cell_key, CellCheckpoint(
-                samples_done=done,
-                counts=counts,
-                cycle_rng_state=cycle_rng.getstate(),
-                generator_rng_state=generator.rng_state(),
-                golden_cycles=golden.cycles,
-            ))
+                if tel is not None:
+                    tel.metrics.counter("exec.checkpoints_written").inc()
+    if tel is not None:
+        tel.metrics.counter("sim.cells").inc()
     return CellResult(
         workload=workload_name,
         component=component,

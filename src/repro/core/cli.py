@@ -5,7 +5,11 @@ Examples::
     repro-campaign run --samples 50 --workloads crc32 sha --out results.json
     repro-campaign run --store store.json --resume --max-incidents 20
     repro-campaign run --jobs 4 --store store.json   # multi-core, same bytes
+    repro-campaign run --jobs 4 --store store.json --telemetry
+    repro-campaign stats --telemetry store.json.telemetry.json
+    repro-campaign trace --telemetry store.json.telemetry.json --out run.trace.json
     repro-campaign incidents --journal store.json.incidents.jsonl
+    repro-campaign incidents --journal store.json.incidents.jsonl --json
     repro-campaign report --results results.json --artifact table5
     repro-campaign golden
     repro-campaign static --artifact table6
@@ -14,9 +18,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core import report
 from repro.core.campaign import (
     DEFAULT_CHECKPOINT_EVERY,
@@ -31,6 +37,9 @@ from repro.core.supervisor import IncidentJournal, Supervisor
 from repro.errors import InjectionIncident
 from repro.cpu.config import DEFAULT_CONFIG
 from repro.cpu.system import COMPONENT_NAMES
+from repro.obs.progress import EtaTracker
+from repro.obs.schema import validate_chrome_trace, validate_telemetry
+from repro.obs.telemetry import load_summary, summary_chrome_trace
 from repro.workloads import get_workload, workload_names
 
 _FIGURES = {
@@ -105,6 +114,12 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         help="worker processes; cells are sharded across them and merged "
         "deterministically (byte-identical to --jobs 1; default 1)",
     )
+    parser.add_argument(
+        "--telemetry", nargs="?", const="auto", default=None, metavar="PATH",
+        help="collect campaign telemetry (metrics + trace spans) and write "
+        "it to PATH (default: <store>.telemetry.json next to --store, else "
+        "telemetry.json); inspect with the stats and trace subcommands",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
@@ -128,6 +143,29 @@ def _journal_path(args: argparse.Namespace) -> Path | None:
     return None
 
 
+def _telemetry_path(args: argparse.Namespace) -> Path | None:
+    if args.telemetry is None:
+        return None
+    if args.telemetry != "auto":
+        return Path(args.telemetry)
+    if args.store is not None:
+        return Path(str(args.store) + ".telemetry.json")
+    return Path("telemetry.json")
+
+
+def _write_telemetry(telemetry, path: Path) -> None:
+    telemetry.write(path)
+    derived = telemetry.summary(include_trace=False)["derived"]
+    rate = derived.get("samples_per_sec")
+    rate_note = f", {rate:.1f} samples/s" if rate is not None else ""
+    print(
+        f"telemetry: {path} ({telemetry.wall_seconds():.2f}s wall"
+        f"{rate_note}) — inspect with: repro-campaign stats "
+        f"--telemetry {path}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     store = CampaignStore(args.store) if args.store else None
@@ -143,11 +181,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_incidents=args.max_incidents,
         strict=args.strict,
     )
+    telemetry_path = _telemetry_path(args)
+    telemetry = obs.enable() if telemetry_path is not None else None
+
+    eta = EtaTracker(samples_per_cell=config.samples)
 
     def progress(done: int, total: int, cell) -> None:
+        eta.update(done, total)
+        suffix = eta.render()
         print(
             f"[{done:>4}/{total}] {cell.workload}/{cell.component}/"
-            f"{cell.cardinality}-bit AVF={cell.avf:.3f}",
+            f"{cell.cardinality}-bit AVF={cell.avf:.3f}"
+            + (f"  ({suffix})" if suffix else ""),
             file=sys.stderr,
         )
 
@@ -163,6 +208,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         if journal.path is not None:
             print(f"incident journal: {journal.path}", file=sys.stderr)
+        if telemetry is not None:
+            _write_telemetry(telemetry, telemetry_path)
         return 1
     except KeyboardInterrupt:
         print(
@@ -171,6 +218,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                if store is not None else ""),
             file=sys.stderr,
         )
+        if telemetry is not None:
+            # Partial telemetry is still a valid summary of the work done
+            # so far (metrics merge is prefix-closed).
+            _write_telemetry(telemetry, telemetry_path)
         return 130
     if supervisor.incident_count:
         where = journal.path if journal.path is not None else "in-memory only"
@@ -185,6 +236,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         print(blob)
+    if telemetry is not None:
+        _write_telemetry(telemetry, telemetry_path)
     return 0
 
 
@@ -238,7 +291,52 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_incidents(args: argparse.Namespace) -> int:
     journal = IncidentJournal.load(args.journal)
+    if args.json:
+        print(json.dumps(
+            [incident.as_dict() for incident in journal.incidents],
+            indent=1, sort_keys=True,
+        ))
+        return 0
     print(report.render_incidents(journal.incidents, verbose=args.verbose))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        summary = load_summary(args.telemetry)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry {args.telemetry}: {exc}", file=sys.stderr)
+        return 2
+    if args.check:
+        errors = validate_telemetry(summary)
+        errors += validate_chrome_trace(summary_chrome_trace(summary))
+        if errors:
+            for error in errors:
+                print(f"invalid: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.telemetry}: telemetry and trace schemas OK",
+              file=sys.stderr)
+    print(report.render_telemetry(summary))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        summary = load_summary(args.telemetry)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry {args.telemetry}: {exc}", file=sys.stderr)
+        return 2
+    trace = summary_chrome_trace(summary)
+    blob = json.dumps(trace, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(blob)
+        print(
+            f"wrote {args.out} ({len(trace['traceEvents'])} events) — open "
+            "in chrome://tracing or https://ui.perfetto.dev",
+            file=sys.stderr,
+        )
+    else:
+        print(blob)
     return 0
 
 
@@ -308,7 +406,38 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true",
         help="include the full traceback of every incident",
     )
+    p_incidents.add_argument(
+        "--json", action="store_true",
+        help="emit the journal as machine-readable JSON instead of a table",
+    )
     p_incidents.set_defaults(func=_cmd_incidents)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a campaign telemetry summary"
+    )
+    p_stats.add_argument(
+        "--telemetry", type=Path, required=True, metavar="PATH",
+        help="telemetry.json written by run --telemetry",
+    )
+    p_stats.add_argument(
+        "--check", action="store_true",
+        help="validate the telemetry and derived Chrome trace against "
+        "their schemas first (non-zero exit on violations)",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="export telemetry spans as a Chrome trace_event file"
+    )
+    p_trace.add_argument(
+        "--telemetry", type=Path, required=True, metavar="PATH",
+        help="telemetry.json written by run --telemetry",
+    )
+    p_trace.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="trace output path (default: stdout)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_golden = sub.add_parser(
         "golden", help="run fault-free golden simulations (Table III)"

@@ -34,6 +34,12 @@ Architecture (one parent, N workers):
   count against ``max_incidents``/``strict`` but not against the
   result's lost-sample ``incidents`` field — a rescheduled cell completes
   with every sample intact.
+* **Telemetry streaming.**  When the parent has :mod:`repro.obs`
+  telemetry enabled, each worker runs a fresh process-local registry and
+  tracer, ships a per-cell metric delta plus drained trace events after
+  every completed cell (and worker-scoped deltas at batch boundaries),
+  and the parent merges the deltas in canonical cell order — the merged
+  ``sim.*`` counters equal the serial run's exactly.
 * **Graceful Ctrl-C.**  On ``KeyboardInterrupt`` the parent sets a stop
   event; workers finish their current sample, flush one final mid-cell
   checkpoint through the queue, and exit.  The parent drains the queue,
@@ -52,10 +58,14 @@ import multiprocessing
 import os
 import queue as queue_module
 import signal
+import time
 import traceback as traceback_module
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
+
+from repro import obs
+from repro.obs.metrics import subtract_snapshot
 
 from repro.core.campaign import (
     DEFAULT_CHECKPOINT_EVERY,
@@ -146,6 +156,41 @@ class _QueueStore:
         )
 
 
+class _TelemetryShipper:
+    """Worker-side telemetry outbox: per-cell metric deltas + trace events.
+
+    After every finished cell the worker snapshots its local registry,
+    ships the delta since the previous snapshot (tagged with the cell's
+    canonical index, so the parent can merge in canonical cell order) and
+    drains its trace buffer into the same queue message.  Worker-scoped
+    activity between cells (task-queue waits, batch spans) ships with
+    ``index=None`` at batch boundaries and shutdown.
+    """
+
+    def __init__(self, result_queue, worker_id: int, telemetry) -> None:
+        self._queue = result_queue
+        self._worker_id = worker_id
+        self._telemetry = telemetry
+        self._base = (
+            telemetry.metrics.as_dict() if telemetry is not None else None
+        )
+
+    def ship(self, index: int | None = None) -> None:
+        if self._telemetry is None:
+            return
+        snapshot = self._telemetry.metrics.as_dict()
+        delta = subtract_snapshot(snapshot, self._base)
+        self._base = snapshot
+        events = self._telemetry.tracer.drain()
+        if index is None and not events and not any(
+            delta[kind] for kind in ("counters", "histograms")
+        ):
+            return
+        self._queue.put(
+            ("telemetry", self._worker_id, index, delta, events)
+        )
+
+
 def _worker_main(
     worker_id: int,
     task_queue,
@@ -156,6 +201,7 @@ def _worker_main(
     strict: bool,
     watchdog: bool,
     checkpoint_every: int | None,
+    telemetry_enabled: bool,
     stop_event,
     crash_spec: dict | None,
 ) -> None:
@@ -169,6 +215,11 @@ def _worker_main(
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    # Fresh per-worker telemetry: anything inherited over fork belongs to
+    # the parent and must not be double-reported from here.
+    obs.disable()
+    tel = obs.enable() if telemetry_enabled else None
+    shipper = _TelemetryShipper(result_queue, worker_id, tel)
     supervisor = None
     if supervised:
         from repro.core.supervisor import Supervisor
@@ -181,59 +232,78 @@ def _worker_main(
         )
     result_queue.put(("ready", worker_id))
     while True:
+        wait_begin = time.perf_counter() if tel is not None else 0.0
         try:
             batch = task_queue.get(timeout=60.0)
         except queue_module.Empty:
             if stop_event.is_set():  # pragma: no cover - parent gave up
                 return
             continue  # pragma: no cover - parent merely busy
+        if tel is not None:
+            tel.metrics.histogram("time.worker.task_wait").observe(
+                time.perf_counter() - wait_begin
+            )
         if batch is None:
+            shipper.ship()
             result_queue.put(("bye", worker_id))
             return
-        for task in batch:
-            if stop_event.is_set():
-                result_queue.put(("stopped", worker_id))
-                return
-            if crash_spec is not None and crash_spec["cell"] == [
-                task.workload, task.component, task.cardinality
-            ]:
-                # Test hook: die hard (no cleanup, no queue message) the
-                # first time any worker reaches this cell, exactly like a
-                # segfault would.  The flag file keeps the rescheduled
-                # cell from killing its next worker too.
-                flag = Path(crash_spec["flag"])
-                if not flag.exists():
-                    flag.touch()
-                    os._exit(crash_spec.get("exit_code", 64))
-            result_queue.put(("start", worker_id, task.index))
-            store_proxy = _QueueStore(result_queue, worker_id, task)
-            try:
-                cell = run_cell(
-                    task.workload, task.component, task.cardinality,
-                    config, core_cfg,
-                    supervisor=supervisor,
-                    store=store_proxy, cell_key=task.cell_key,
-                    checkpoint_every=checkpoint_every, resume=True,
-                    stop=stop_event.is_set,
-                )
-            except CampaignInterrupted:
-                result_queue.put(("stopped", worker_id))
-                return
-            except InjectionIncident as exc:
-                # --strict escalation: the incident itself was already
-                # forwarded by the queue journal; tell the parent to abort.
+        with obs.span("worker-batch", worker=worker_id, cells=len(batch)):
+            for task in batch:
+                if stop_event.is_set():
+                    shipper.ship()
+                    result_queue.put(("stopped", worker_id))
+                    return
+                if crash_spec is not None and crash_spec["cell"] == [
+                    task.workload, task.component, task.cardinality
+                ]:
+                    # Test hook: die hard (no cleanup, no queue message) the
+                    # first time any worker reaches this cell, exactly like a
+                    # segfault would.  The flag file keeps the rescheduled
+                    # cell from killing its next worker too.
+                    flag = Path(crash_spec["flag"])
+                    if not flag.exists():
+                        flag.touch()
+                        os._exit(crash_spec.get("exit_code", 64))
+                result_queue.put(("start", worker_id, task.index))
+                store_proxy = _QueueStore(result_queue, worker_id, task)
+                try:
+                    cell = run_cell(
+                        task.workload, task.component, task.cardinality,
+                        config, core_cfg,
+                        supervisor=supervisor,
+                        store=store_proxy, cell_key=task.cell_key,
+                        checkpoint_every=checkpoint_every, resume=True,
+                        stop=stop_event.is_set,
+                    )
+                except CampaignInterrupted:
+                    shipper.ship()
+                    result_queue.put(("stopped", worker_id))
+                    return
+                except InjectionIncident as exc:
+                    # --strict escalation: the incident itself was already
+                    # forwarded by the queue journal; tell the parent to
+                    # abort.
+                    shipper.ship()
+                    result_queue.put(
+                        ("fatal", worker_id, task.index,
+                         type(exc).__name__, str(exc))
+                    )
+                    return
+                except Exception as exc:  # noqa: BLE001 - must not hang the pool
+                    shipper.ship()
+                    result_queue.put(
+                        ("fatal", worker_id, task.index, type(exc).__name__,
+                         f"{exc}\n{traceback_module.format_exc()}")
+                    )
+                    return
+                # Telemetry first, completion second: queue order from one
+                # worker is FIFO, so the parent still holds the cell in
+                # pending_done when its metric delta arrives.
+                shipper.ship(task.index)
                 result_queue.put(
-                    ("fatal", worker_id, task.index,
-                     type(exc).__name__, str(exc))
+                    ("cell", worker_id, task.index, cell.as_dict())
                 )
-                return
-            except Exception as exc:  # noqa: BLE001 - must not hang the pool
-                result_queue.put(
-                    ("fatal", worker_id, task.index, type(exc).__name__,
-                     f"{exc}\n{traceback_module.format_exc()}")
-                )
-                return
-            result_queue.put(("cell", worker_id, task.index, cell.as_dict()))
+        shipper.ship()
         result_queue.put(("ready", worker_id))
 
 
@@ -288,15 +358,19 @@ class _Pool:
         self._next_id += 1
         task_queue = self.ctx.Queue()
         result_queue, config, core_cfg, supervised, strict, watchdog, \
-            checkpoint_every, stop_event, crash_spec = self.worker_args
+            checkpoint_every, telemetry_enabled, stop_event, \
+            crash_spec = self.worker_args
         proc = self.ctx.Process(
             target=_worker_main,
             args=(worker_id, task_queue, result_queue, config, core_cfg,
                   supervised, strict, watchdog, checkpoint_every,
-                  stop_event, crash_spec),
+                  telemetry_enabled, stop_event, crash_spec),
             daemon=True,
         )
         proc.start()
+        tel = obs.active()
+        if tel is not None:
+            tel.metrics.counter("exec.workers_spawned").inc()
         self.workers[worker_id] = proc
         self.task_queues[worker_id] = task_queue
         self.assigned[worker_id] = []
@@ -378,10 +452,10 @@ def run_campaign_parallel(
 
     def emit_progress() -> int:
         nonlocal emitted
-        if progress is not None:
-            while emitted in results:
+        while emitted in results:
+            if progress is not None:
                 progress(emitted + 1, total, results[emitted])
-                emitted += 1
+            emitted += 1
         return emitted
 
     emit_progress()
@@ -405,6 +479,13 @@ def run_campaign_parallel(
         if supervisor is not None:
             supervisor.incident_count += 1
 
+    parent_tel = obs.active()
+    #: Per-cell metric deltas (by canonical index) and worker-scoped
+    #: deltas, merged into the parent registry once the grid completes —
+    #: cells in canonical order, then workers in spawn order.
+    cell_deltas: dict[int, dict] = {}
+    worker_deltas: list[dict] = []
+
     ctx = _context()
     stop_event = ctx.Event()
     result_queue = ctx.Queue()
@@ -412,8 +493,16 @@ def run_campaign_parallel(
     batches = _affinity_batches(tasks, jobs)
     pool = _Pool(ctx, min(jobs, len(batches)), (
         result_queue, config, core_cfg, supervisor is not None, strict,
-        watchdog, checkpoint_every, stop_event, _crash_spec,
+        watchdog, checkpoint_every, parent_tel is not None, stop_event,
+        _crash_spec,
     ))
+    if parent_tel is not None:
+        parent_tel.metrics.gauge("exec.scheduler.batches").set_max(
+            len(batches)
+        )
+        parent_tel.metrics.counter("exec.scheduler.cells_cached").inc(
+            len(results)
+        )
     # Parent-held copies of the freshest checkpoint per in-flight cell:
     # what a rescheduled cell resumes from when its worker died between
     # store writes and completion.
@@ -458,6 +547,15 @@ def run_campaign_parallel(
         )
         record_incident(incident)
         total_incidents += 1
+        if parent_tel is not None:
+            # Worker crashes are contained in the parent, so they are
+            # counted here — never by a worker-side supervisor.
+            parent_tel.metrics.counter("exec.incidents").inc()
+            parent_tel.metrics.counter("exec.incidents.worker-crash").inc()
+            parent_tel.tracer.instant(
+                "worker-crash", worker=worker_id, exitcode=proc.exitcode,
+                rescheduled=len(remaining),
+            )
         if strict:
             abort_exc = InjectionIncident(
                 f"[strict] {incident.message}"
@@ -529,7 +627,25 @@ def run_campaign_parallel(
                 live_partials.pop(index, None)
                 if store is not None:
                     store.put(keys[index], cell)
-                emit_progress()
+                done = emit_progress()
+                if parent_tel is not None:
+                    # Completed cells buffered waiting for an earlier cell
+                    # to land — how far ahead of canonical order the
+                    # schedule ran.
+                    parent_tel.metrics.gauge(
+                        "exec.scheduler.reorder_depth"
+                    ).set_max(float(len(results) - done))
+            elif kind == "telemetry":
+                _, worker_id, index, delta, events = message
+                if parent_tel is not None:
+                    if index is None:
+                        worker_deltas.append(delta)
+                    elif index in pending_done:
+                        # Keep the first completion's telemetry, like the
+                        # first "cell" message; a raced duplicate from a
+                        # reschedule is dropped with its cell.
+                        cell_deltas[index] = delta
+                    parent_tel.tracer.adopt(events, tid=worker_id + 1)
             elif kind == "incident":
                 _, _, data = message
                 record_incident(Incident.from_dict(data))
@@ -560,13 +676,30 @@ def run_campaign_parallel(
         # arrives so --resume continues bit-identically.
         stop_event.set()
         _drain_for_checkpoints(result_queue, pool, store, keys,
-                               live_partials, pending_done)
+                               live_partials, pending_done,
+                               telemetry=(parent_tel, cell_deltas,
+                                          worker_deltas))
         if store is not None:
             store.compact()
         raise
     finally:
         stop_event.set()
         pool.shutdown()
+        if parent_tel is not None:
+            # Workers flush their remaining telemetry (batch spans, queue
+            # waits) on the shutdown "None" before exiting; shutdown() has
+            # joined them, so everything is in the queue by now.
+            _collect_leftover_telemetry(
+                result_queue, parent_tel, cell_deltas, worker_deltas,
+                pending_done,
+            )
+            # Canonical-order merge: same input order every run, and the
+            # merge operators themselves are order-independent — either
+            # property alone makes merged counters deterministic.
+            for index in sorted(cell_deltas):
+                parent_tel.metrics.merge_dict(cell_deltas[index])
+            for delta in worker_deltas:
+                parent_tel.metrics.merge_dict(delta)
 
     if abort_exc is not None:
         if store is not None:
@@ -578,6 +711,34 @@ def run_campaign_parallel(
     )
 
 
+def _collect_leftover_telemetry(
+    result_queue,
+    parent_tel,
+    cell_deltas: dict[int, dict],
+    worker_deltas: list[dict],
+    pending_done: set[int],
+) -> None:
+    """Absorb telemetry still queued after every worker has exited.
+
+    Only telemetry is kept: any other message type surviving to this
+    point belongs to work that was already merged, rescheduled, or
+    abandoned.  One Empty is conclusive — the senders are gone.
+    """
+    while True:
+        try:
+            message = result_queue.get(timeout=0.2)
+        except queue_module.Empty:
+            return
+        if message[0] != "telemetry":
+            continue
+        _, worker_id, index, delta, events = message
+        if index is None:
+            worker_deltas.append(delta)
+        elif index in pending_done:
+            cell_deltas[index] = delta
+        parent_tel.tracer.adopt(events, tid=worker_id + 1)
+
+
 def _drain_for_checkpoints(
     result_queue,
     pool: _Pool,
@@ -586,16 +747,18 @@ def _drain_for_checkpoints(
     live_partials: dict[int, dict],
     pending_done: set[int],
     timeout: float = 10.0,
+    telemetry: tuple | None = None,
 ) -> None:
     """Absorb in-flight messages while stopping workers wind down.
 
     Everything durable that arrives during the drain — final mid-cell
     checkpoints, cells that completed in the shutdown window — is written
     to the store, so an interrupted ``--jobs N`` run loses at most the
-    unsampled remainder of each worker's current injection.
+    unsampled remainder of each worker's current injection.  *telemetry*
+    (when given: ``(parent_tel, cell_deltas, worker_deltas)``) collects
+    workers' final telemetry flushes, so the interrupted run's summary
+    still covers the work actually done.
     """
-    import time
-
     deadline = time.monotonic() + timeout
     while pool.live_ids() and time.monotonic() < deadline:
         try:
@@ -615,6 +778,15 @@ def _drain_for_checkpoints(
             if store is not None and index in pending_done:
                 store.put(keys[index], CellResult.from_dict(data))
             pending_done.discard(index)
+        elif kind == "telemetry" and telemetry is not None:
+            _, worker_id, index, delta, events = message
+            parent_tel, cell_deltas, worker_deltas = telemetry
+            if parent_tel is not None:
+                if index is None:
+                    worker_deltas.append(delta)
+                elif index in pending_done:
+                    cell_deltas[index] = delta
+                parent_tel.tracer.adopt(events, tid=worker_id + 1)
         elif kind == "ready":
             # A worker idling between batches: release it immediately.
             worker_id = message[1]

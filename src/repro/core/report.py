@@ -324,3 +324,72 @@ def render_incidents(incidents: list, verbose: bool = False) -> str:
                          f"(cell seed {incident.cell_seed!r}) ---")
             lines.append(incident.traceback.rstrip())
     return "\n".join(lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_telemetry(summary: dict) -> str:
+    """Human-readable view of a ``telemetry.json`` summary.
+
+    Input is the dict shape produced by
+    :meth:`repro.obs.telemetry.Telemetry.summary` (see DESIGN.md §8):
+    counters, gauges, duration histograms, and the derived figures.
+    """
+    derived = summary.get("derived", {})
+    wall = summary.get("wall_seconds", 0.0)
+    header = f"wall {wall:.2f}s"
+    rate = derived.get("samples_per_sec")
+    if rate is not None:
+        header += f" · {rate:.1f} samples/s"
+    utilization = derived.get("worker_utilization")
+    if utilization is not None:
+        header += f" · worker utilization {utilization * 100:.0f}%"
+    lines = [header, ""]
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append(format_table(
+            ["counter", "value"],
+            [[name, f"{counters[name]:,}"] for name in sorted(counters)],
+        ))
+        lines.append("")
+    gauges = summary.get("gauges", {})
+    if gauges:
+        lines.append(format_table(
+            ["gauge", "value"],
+            [[name, f"{gauges[name]:g}"] for name in sorted(gauges)],
+        ))
+        lines.append("")
+    histograms = summary.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            blob = histograms[name]
+            count = blob["count"]
+            mean = blob["sum"] / count if count else 0.0
+            rows.append([
+                name, str(count), _format_seconds(blob["sum"]),
+                _format_seconds(mean),
+            ])
+        lines.append(format_table(
+            ["histogram", "count", "total", "mean"], rows
+        ))
+        lines.append("")
+    rates = []
+    for group, label in (("lru_hit_rates", "lru"), ("mem_hit_rates", "mem")):
+        for name, value in sorted(derived.get(group, {}).items()):
+            if value is not None:
+                rates.append([f"{label}.{name}", f"{value * 100:.2f}%"])
+    if rates:
+        lines.append(format_table(["hit rate", "value"], rates))
+    dropped = summary.get("dropped_trace_events", 0)
+    if dropped:
+        lines.append("")
+        lines.append(f"warning: {dropped} trace event(s) dropped at the "
+                     f"buffer cap")
+    return "\n".join(lines).rstrip()

@@ -44,6 +44,7 @@ from repro.errors import (
     InjectionIncident,
     SimAssertion,
 )
+from repro import obs
 from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
 from repro.workloads.base import Workload
 
@@ -258,6 +259,19 @@ class Supervisor:
         )
         self.journal.append(incident)
         self.incident_count += 1
+        tel = obs.active()
+        if tel is not None:
+            # Incidents are rare by definition; each one is worth a point
+            # on the trace timeline next to its counters.
+            tel.metrics.counter("exec.incidents").inc()
+            tel.metrics.counter("exec.incidents." + incident.kind).inc()
+            tel.tracer.instant(
+                "incident",
+                kind=incident.kind,
+                cell=incident.cell_label(),
+                sample=sample_index,
+                error=type(exc).__name__,
+            )
         if self.strict:
             raise InjectionIncident(
                 f"[strict] incident in {incident.cell_label()} sample "

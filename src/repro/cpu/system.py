@@ -71,6 +71,18 @@ class System:
             "itlb": self.itlb,
         }
 
+    def publish_metrics(self, metrics, prefix: str = "sim.mem.") -> None:
+        """Harvest cache/TLB hit-miss counters into an ``obs`` registry.
+
+        Called at most once per finished run; the totals are a pure
+        function of the executed instruction stream, so sums over a
+        campaign's injections are deterministic (``sim.*`` namespace).
+        """
+        for cache in (self.l1d, self.l1i, self.l2):
+            cache.stats.publish(metrics, prefix + cache.name)
+        for tlb in (self.itlb, self.dtlb):
+            tlb.publish_stats(metrics, prefix + tlb.name)
+
     def step(self) -> None:
         self.core.step()
 

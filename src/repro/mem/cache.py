@@ -46,6 +46,24 @@ class CacheStats:
             "writebacks": self.writebacks,
         }
 
+    def publish(self, metrics, prefix: str) -> None:
+        """Accumulate these counters into an ``obs`` metrics registry.
+
+        The no-op default lives at the call site (``System.publish_metrics``
+        is only invoked when telemetry is enabled), so the simulator's
+        access paths stay free of instrumentation: counters are harvested
+        once per finished run, never per access.
+        """
+        # Zero counts are skipped, not recorded as 0: worker deltas only
+        # carry changed counters, so recording zeros here would make the
+        # serial registry's key set differ from the merged parallel one.
+        if self.hits:
+            metrics.counter(prefix + ".hits").inc(self.hits)
+        if self.misses:
+            metrics.counter(prefix + ".misses").inc(self.misses)
+        if self.writebacks:
+            metrics.counter(prefix + ".writebacks").inc(self.writebacks)
+
 
 class Cache:
     """One level of a set-associative write-back cache."""

@@ -213,6 +213,22 @@ class TLB:
         ppn = (word >> PPN_SHIFT) & FIELD_MASK_13
         return (ppn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1)), latency, None
 
+    # -- statistics --------------------------------------------------------------
+
+    def stats_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def publish_stats(self, metrics, prefix: str) -> None:
+        """Accumulate hit/miss counters into an ``obs`` metrics registry
+        (called once per finished run when telemetry is enabled — the
+        translate fast path itself carries no instrumentation)."""
+        # Zero counts are skipped for parity with worker metric deltas,
+        # which only carry changed counters (see CacheStats.publish).
+        if self.hits:
+            metrics.counter(prefix + ".hits").inc(self.hits)
+        if self.misses:
+            metrics.counter(prefix + ".misses").inc(self.misses)
+
     # -- maintenance -------------------------------------------------------------
 
     def flush(self) -> None:

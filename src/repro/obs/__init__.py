@@ -1,0 +1,114 @@
+"""Campaign observability: metrics, span tracing, live telemetry.
+
+Off by default, and off-by-default-cheap: the whole subsystem hangs off
+one module-global :class:`~repro.obs.telemetry.Telemetry` that is
+``None`` until :func:`enable` is called, so every instrumentation site
+in the hot paths reduces to one attribute load and an ``is None`` branch
+(the guard cost is what tests/test_obs_campaign.py's overhead guard
+bounds).  Instrumented code never changes simulation state — RNG draws,
+fault masks and classifications are identical with telemetry on or off,
+which is why the telemetry-on smoke campaign's results and store stay
+byte-identical to the telemetry-off reference.
+
+The state is process-local on purpose.  Parallel campaign workers enable
+a *fresh* Telemetry of their own (whatever they inherited over ``fork``
+is discarded) and ship per-cell metric deltas plus drained trace events
+to the parent over the existing result queue; the parent merges the
+deltas in canonical cell order.  See DESIGN.md §8.
+
+Typical library use::
+
+    from repro import obs
+
+    telemetry = obs.enable()
+    result = run_campaign(config, jobs=4)
+    telemetry.write("telemetry.json")
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    deterministic_counters,
+    subtract_snapshot,
+)
+from repro.obs.progress import EtaTracker, format_duration
+from repro.obs.schema import validate_chrome_trace, validate_telemetry
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    Telemetry,
+    load_summary,
+    summary_chrome_trace,
+)
+from repro.obs.tracing import NULL_SPAN, NullSpan, Tracer, chrome_trace
+
+__all__ = [
+    "DEFAULT_TIME_BOUNDS",
+    "TELEMETRY_SCHEMA",
+    "Counter",
+    "EtaTracker",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "Telemetry",
+    "Tracer",
+    "active",
+    "chrome_trace",
+    "deterministic_counters",
+    "disable",
+    "enable",
+    "format_duration",
+    "load_summary",
+    "span",
+    "subtract_snapshot",
+    "summary_chrome_trace",
+    "validate_chrome_trace",
+    "validate_telemetry",
+]
+
+_ACTIVE: Telemetry | None = None
+
+
+def enable(telemetry: Telemetry | None = None) -> Telemetry:
+    """Install (and return) the process-wide telemetry instance.
+
+    Enabling twice replaces the old instance with a fresh one — exactly
+    what a forked worker wants, and what keeps test runs independent.
+    """
+    global _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else Telemetry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Drop the process-wide telemetry; instrumentation reverts to no-ops."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Telemetry | None:
+    """The enabled telemetry, or ``None`` — THE hot-path guard.
+
+    Hot code hoists this once per operation::
+
+        tel = obs.active()
+        ...
+        if tel is not None:
+            tel.metrics.counter("sim.samples").inc()
+    """
+    return _ACTIVE
+
+
+def span(name: str, **args):
+    """A timed span on the active telemetry, or a shared no-op."""
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return NULL_SPAN
+    return telemetry.span(name, **args)

@@ -1,0 +1,221 @@
+"""Low-overhead metrics: counters, gauges, histograms, deterministic merge.
+
+The registry is the bookkeeping half of the observability subsystem
+(see DESIGN.md §8).  Three invariants shape everything here:
+
+* **Process-local and picklable.**  A registry is a plain object graph of
+  ints and lists — it crosses the multiprocessing result queue of the
+  parallel executor as ordinary JSON-able dicts (:meth:`MetricsRegistry.
+  as_dict` / :meth:`MetricsRegistry.merge_dict`), no shared memory, no
+  locks.
+* **Deterministically mergeable.**  Counter merge is integer addition,
+  histogram merge is per-bucket integer addition, gauge merge is ``max``
+  — all commutative and associative, so per-worker deltas merged in
+  canonical cell order produce the same registry as the serial run
+  produced directly, for every metric whose underlying events are
+  deterministic.
+* **Namespaced determinism contract.**  Metric names are dot-paths and
+  the first segment states the guarantee: ``sim.*`` counters depend only
+  on the campaign configuration (equal across serial and ``--jobs N``
+  runs by construction), ``exec.*`` depends on the execution schedule
+  (cache warmth, worker count, restarts), ``time.*`` is wall-clock.
+  :func:`deterministic_counters` extracts the comparable slice.
+
+Floats appear only in histogram sums and gauges; every cross-run
+comparison in the tests runs over the integer ``sim.*`` counters, so
+float associativity never undermines the determinism story.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default histogram bounds for phase durations, in seconds.  Upper bucket
+#: edges use Prometheus ``le`` semantics: an observation lands in the first
+#: bucket whose bound is >= the value; values above the last bound land in
+#: the implicit overflow bucket.
+DEFAULT_TIME_BOUNDS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Name prefix of metrics that must be equal between a serial run and a
+#: ``--jobs N`` run of the same campaign (fresh stores, no incidents).
+DETERMINISTIC_PREFIX = "sim."
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last/peak-value float; merge keeps the maximum seen anywhere."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bound histogram: bucket counts plus exact sum and count.
+
+    ``counts[i]`` holds observations ``x`` with
+    ``bounds[i-1] < x <= bounds[i]``; ``counts[len(bounds)]`` is the
+    overflow bucket.  Bounds are fixed at creation so two histograms of
+    the same name always merge bucket-by-bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_TIME_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- access --------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_TIME_BOUNDS
+    ) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(bounds)
+        return histogram
+
+    # -- serialisation / merge ----------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot (sorted keys, so equal registries dump equal)."""
+        return {
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name].value for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self.histograms[name].as_dict()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a snapshot/delta produced by :meth:`as_dict` into this
+        registry: counters add, gauges take the max, histograms add
+        bucket-wise (creating any metric not yet present)."""
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set_max(float(value))
+        for name, blob in data.get("histograms", {}).items():
+            histogram = self.histogram(name, tuple(blob["bounds"]))
+            if list(histogram.bounds) != list(blob["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r}: merge with mismatched bounds"
+                )
+            for index, bucket in enumerate(blob["counts"]):
+                histogram.counts[index] += int(bucket)
+            histogram.sum += float(blob["sum"])
+            histogram.count += int(blob["count"])
+
+
+def subtract_snapshot(after: dict, before: dict) -> dict:
+    """The delta between two :meth:`MetricsRegistry.as_dict` snapshots.
+
+    ``merge_dict(subtract_snapshot(after, before))`` applied to a registry
+    in state *before* reproduces state *after* exactly (gauges carry the
+    later value; max-merge keeps that exact for monotone gauges).  This is
+    how workers ship per-cell metric deltas over the result queue.
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0)
+        if delta:
+            counters[name] = delta
+    gauges = dict(after.get("gauges", {}))
+    histograms = {}
+    for name, blob in after.get("histograms", {}).items():
+        prior = before.get("histograms", {}).get(name)
+        if prior is None:
+            histograms[name] = blob
+            continue
+        delta_counts = [
+            bucket - prior["counts"][index]
+            for index, bucket in enumerate(blob["counts"])
+        ]
+        if any(delta_counts):
+            histograms[name] = {
+                "bounds": blob["bounds"],
+                "counts": delta_counts,
+                "sum": blob["sum"] - prior["sum"],
+                "count": blob["count"] - prior["count"],
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def deterministic_counters(snapshot: dict) -> dict[str, int]:
+    """The ``sim.*`` counters of a snapshot — the slice that must be equal
+    between serial and parallel runs of the same campaign."""
+    return {
+        name: value
+        for name, value in snapshot.get("counters", {}).items()
+        if name.startswith(DETERMINISTIC_PREFIX)
+    }

@@ -1,0 +1,104 @@
+"""Live progress estimation: samples/sec over a sliding window, ETA.
+
+The campaign progress callback fires once per completed cell, in
+canonical order in both the serial and the parallel path (the parallel
+parent buffers out-of-order completions), so one tracker serves both.
+Rates are computed over a sliding window of recent completions rather
+than since-start, so the estimate recovers quickly after a cold start
+(checkpoint builds) or a burst of store-cached cells.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+#: Completions the sliding window holds.  Big enough to smooth per-cell
+#: variance (workloads differ ~10x in golden cycles), small enough to
+#: track a campaign that speeds up as caches warm.
+DEFAULT_WINDOW = 12
+
+#: Shortest window span the rate is trusted over.  The parallel parent
+#: reports buffered out-of-order completions in a burst, so two events
+#: microseconds apart would extrapolate an absurd rate; below this span
+#: the tracker falls back to the since-start average.
+MIN_SPAN_SECONDS = 1.0
+
+
+def format_duration(seconds: float) -> str:
+    """``3725.4 -> '1:02:05'``, ``95.0 -> '1:35'``, ``4.2 -> '0:04'``."""
+    total = max(0, int(seconds))
+    hours, rest = divmod(total, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class EtaTracker:
+    """Sliding-window rate + ETA over per-cell progress events."""
+
+    def __init__(
+        self,
+        samples_per_cell: int,
+        window: int = DEFAULT_WINDOW,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.samples_per_cell = max(1, samples_per_cell)
+        self._clock = clock
+        self._start = clock()
+        self._events: deque[tuple[float, int]] = deque(maxlen=max(2, window))
+        self._total = 0
+        self._done = 0
+
+    def update(self, done: int, total: int) -> "EtaTracker":
+        """Record that *done* of *total* cells are complete."""
+        self._events.append((self._clock(), done))
+        self._done = done
+        self._total = total
+        return self
+
+    @property
+    def cells_remaining(self) -> int:
+        return max(0, self._total - self._done)
+
+    @property
+    def cells_per_sec(self) -> float | None:
+        if len(self._events) < 2:
+            return None
+        (t0, d0), (t1, d1) = self._events[0], self._events[-1]
+        if t1 - t0 < MIN_SPAN_SECONDS:
+            # Burst of buffered completions — the window alone would
+            # extrapolate wildly, so average since tracker creation.
+            t0, d0 = self._start, 0
+        if t1 - t0 < MIN_SPAN_SECONDS:
+            # Still too little history (e.g. a fully store-cached replay
+            # finishing in milliseconds): no rate beats a silly one.
+            return None
+        if d1 <= d0:
+            return None
+        return (d1 - d0) / (t1 - t0)
+
+    @property
+    def samples_per_sec(self) -> float | None:
+        rate = self.cells_per_sec
+        return rate * self.samples_per_cell if rate is not None else None
+
+    @property
+    def eta_seconds(self) -> float | None:
+        rate = self.cells_per_sec
+        if rate is None or not self.cells_remaining:
+            return None
+        return self.cells_remaining / rate
+
+    def render(self) -> str:
+        """One-line live status, empty until two completions have landed."""
+        rate = self.samples_per_sec
+        if rate is None:
+            return ""
+        eta = self.eta_seconds
+        text = f"{rate:.1f} samp/s"
+        if eta is not None:
+            text += f" · ETA {format_duration(eta)}"
+        return text

@@ -1,0 +1,160 @@
+"""Hand-rolled validators for telemetry.json and Chrome trace JSON.
+
+No ``jsonschema`` dependency: the container's toolchain is fixed, and the
+two shapes are small enough that explicit checks double as documentation.
+Each validator returns a list of human-readable problems (empty = valid),
+so CI can print every violation at once instead of dying on the first.
+"""
+
+from __future__ import annotations
+
+_NUMBER = (int, float)
+
+
+def _check(errors: list[str], ok: bool, message: str) -> None:
+    if not ok:
+        errors.append(message)
+
+
+def validate_histogram(name: str, blob, errors: list[str]) -> None:
+    if not isinstance(blob, dict):
+        errors.append(f"histogram {name!r}: not an object")
+        return
+    bounds = blob.get("bounds")
+    counts = blob.get("counts")
+    _check(
+        errors,
+        isinstance(bounds, list)
+        and bounds
+        and all(isinstance(b, _NUMBER) for b in bounds)
+        and bounds == sorted(bounds),
+        f"histogram {name!r}: bounds must be a sorted non-empty number list",
+    )
+    _check(
+        errors,
+        isinstance(counts, list)
+        and all(isinstance(c, int) and c >= 0 for c in counts),
+        f"histogram {name!r}: counts must be non-negative ints",
+    )
+    if isinstance(bounds, list) and isinstance(counts, list):
+        _check(
+            errors,
+            len(counts) == len(bounds) + 1,
+            f"histogram {name!r}: need len(bounds)+1 buckets "
+            f"(got {len(counts)} for {len(bounds)} bounds)",
+        )
+        _check(
+            errors,
+            blob.get("count") == sum(counts),
+            f"histogram {name!r}: count {blob.get('count')} != bucket sum "
+            f"{sum(counts)}",
+        )
+    _check(
+        errors,
+        isinstance(blob.get("sum"), _NUMBER),
+        f"histogram {name!r}: sum must be a number",
+    )
+
+
+def validate_telemetry(data) -> list[str]:
+    """Problems with a ``telemetry.json`` object (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["telemetry: not a JSON object"]
+    _check(errors, data.get("kind") == "repro-telemetry",
+           "telemetry: kind must be 'repro-telemetry'")
+    _check(errors, isinstance(data.get("schema"), int),
+           "telemetry: schema must be an int")
+    wall = data.get("wall_seconds")
+    _check(errors, isinstance(wall, _NUMBER) and wall >= 0,
+           "telemetry: wall_seconds must be a non-negative number")
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("telemetry: counters must be an object")
+    else:
+        for name, value in counters.items():
+            _check(errors, isinstance(value, int),
+                   f"counter {name!r}: value must be an int")
+    gauges = data.get("gauges")
+    if not isinstance(gauges, dict):
+        errors.append("telemetry: gauges must be an object")
+    else:
+        for name, value in gauges.items():
+            _check(errors, isinstance(value, _NUMBER),
+                   f"gauge {name!r}: value must be a number")
+    histograms = data.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append("telemetry: histograms must be an object")
+    else:
+        for name, blob in histograms.items():
+            validate_histogram(name, blob, errors)
+    _check(errors, isinstance(data.get("derived"), dict),
+           "telemetry: derived must be an object")
+    det = data.get("deterministic_counters")
+    if not isinstance(det, dict):
+        errors.append("telemetry: deterministic_counters must be an object")
+    elif isinstance(counters, dict):
+        for name in det:
+            _check(errors, name.startswith("sim."),
+                   f"deterministic counter {name!r}: must be sim.*")
+            _check(errors, counters.get(name) == det[name],
+                   f"deterministic counter {name!r}: disagrees with counters")
+    if "trace_events" in data:
+        events = data["trace_events"]
+        if not isinstance(events, list):
+            errors.append("telemetry: trace_events must be a list")
+        else:
+            for index, event in enumerate(events):
+                _validate_raw_event(index, event, errors)
+    return errors
+
+
+def _validate_raw_event(index: int, event, errors: list[str]) -> None:
+    if not isinstance(event, dict):
+        errors.append(f"trace event {index}: not an object")
+        return
+    _check(errors, isinstance(event.get("name"), str),
+           f"trace event {index}: name must be a string")
+    _check(errors, event.get("ph") in ("X", "i"),
+           f"trace event {index}: ph must be 'X' or 'i'")
+    _check(errors, isinstance(event.get("ts"), int),
+           f"trace event {index}: ts must be an int (microseconds)")
+    if event.get("ph") == "X":
+        _check(errors, isinstance(event.get("dur"), int),
+               f"trace event {index}: complete event needs int dur")
+
+
+def validate_chrome_trace(data) -> list[str]:
+    """Problems with an exported Chrome ``trace_event`` JSON object."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["trace: not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace: traceEvents must be a list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"trace event {index}: not an object")
+            continue
+        _check(errors, isinstance(event.get("name"), str),
+               f"trace event {index}: name must be a string")
+        ph = event.get("ph")
+        _check(errors, ph in ("X", "i", "M"),
+               f"trace event {index}: unsupported ph {ph!r}")
+        _check(errors, isinstance(event.get("pid"), int),
+               f"trace event {index}: pid must be an int")
+        _check(errors, isinstance(event.get("tid"), int),
+               f"trace event {index}: tid must be an int")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        _check(errors, isinstance(ts, int) and ts >= 0,
+               f"trace event {index}: ts must be a non-negative int")
+        if ph == "X":
+            dur = event.get("dur")
+            _check(errors, isinstance(dur, int) and dur >= 0,
+                   f"trace event {index}: dur must be a non-negative int")
+        elif ph == "i":
+            _check(errors, event.get("s") in ("t", "p", "g"),
+                   f"trace event {index}: instant needs scope s")
+    return errors

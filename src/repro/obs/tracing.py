@@ -1,0 +1,157 @@
+"""Span tracing: begin/end + attributes, exportable as Chrome trace JSON.
+
+A :class:`Tracer` records *complete* events (Chrome ``ph: "X"``) via the
+:meth:`Tracer.span` context manager and *instant* events (``ph: "i"``) via
+:meth:`Tracer.instant`.  Timestamps come from ``time.perf_counter`` —
+``CLOCK_MONOTONIC`` on Linux, so events recorded in forked worker
+processes share the parent's timeline and interleave correctly in the
+exported trace.
+
+Events are stored as plain dicts (queue- and JSON-safe); workers
+:meth:`~Tracer.drain` their buffer after every cell and ship it to the
+parent, which :meth:`~Tracer.adopt`\\ s the events under the worker's
+thread id.  :func:`chrome_trace` turns any event list into a JSON object
+loadable by ``about:tracing`` and Perfetto.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Hard cap on buffered events: a runaway per-sample span cannot eat the
+#: campaign's memory.  Drops are counted and surfaced in the summary.
+MAX_EVENTS = 200_000
+
+#: Thread id of events recorded by the process that owns the tracer (the
+#: serial path, or the parent of a parallel run).  Workers are 1..N.
+MAIN_TID = 0
+
+
+class _Span:
+    """One open span; appends a complete event to its tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_begin")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._begin = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._begin = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        self._tracer.record(self.name, self._begin, end, self.args)
+        return False
+
+
+class NullSpan:
+    """Shared no-op stand-in for a span when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Buffer of trace events plus the span factory."""
+
+    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+        self.events: list[dict] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def span(self, name: str, **args) -> _Span:
+        """Context manager timing one named operation."""
+        return _Span(self, name, args)
+
+    def record(self, name: str, begin: float, end: float, args: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append({
+            "name": name,
+            "ph": "X",
+            "ts": int(begin * 1e6),
+            "dur": int((end - begin) * 1e6),
+            "tid": MAIN_TID,
+            "args": args,
+        })
+
+    def instant(self, name: str, **args) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append({
+            "name": name,
+            "ph": "i",
+            "ts": int(time.perf_counter() * 1e6),
+            "tid": MAIN_TID,
+            "args": args,
+        })
+
+    def drain(self) -> list[dict]:
+        """Hand over (and forget) everything buffered so far."""
+        events, self.events = self.events, []
+        return events
+
+    def adopt(self, events: list[dict], tid: int) -> None:
+        """Append events shipped by another process under thread id *tid*."""
+        for event in events:
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                continue
+            event["tid"] = tid
+            self.events.append(event)
+
+
+def chrome_trace(events: list[dict], *, dropped: int = 0) -> dict:
+    """Event list → Chrome ``trace_event`` JSON object.
+
+    Timestamps are rebased to the earliest event so the trace starts near
+    zero; every event gets ``pid`` 0 and a ``cat`` so track grouping and
+    filtering work in Perfetto.  Thread-name metadata events label the
+    serial/parent track and each worker track.
+    """
+    base = min((event["ts"] for event in events), default=0)
+    out: list[dict] = []
+    tids = sorted({event.get("tid", MAIN_TID) for event in events})
+    for tid in tids:
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {
+                "name": "main" if tid == MAIN_TID else f"worker-{tid - 1}"
+            },
+        })
+    for event in events:
+        entry = {
+            "name": event["name"],
+            "cat": "repro",
+            "ph": event["ph"],
+            "ts": event["ts"] - base,
+            "pid": 0,
+            "tid": event.get("tid", MAIN_TID),
+            "args": event.get("args", {}),
+        }
+        if event["ph"] == "X":
+            entry["dur"] = event["dur"]
+        elif event["ph"] == "i":
+            entry["s"] = "t"
+        out.append(entry)
+    trace = {"traceEvents": out, "displayTimeUnit": "ms"}
+    if dropped:
+        trace["metadata"] = {"dropped_events": dropped}
+    return trace

@@ -1,0 +1,353 @@
+"""Unit tests for the observability subsystem (repro.obs).
+
+Covers the invariants everything else leans on: histogram bucket edges
+(Prometheus ``le`` semantics), merge commutativity/associativity,
+snapshot-delta round-trips (the worker shipping mechanism), Chrome trace
+export shape, ETA tracking with an injected clock, and the schema
+validators' ability to actually reject malformed documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    deterministic_counters,
+    subtract_snapshot,
+)
+from repro.obs.progress import EtaTracker, format_duration
+from repro.obs.schema import validate_chrome_trace, validate_telemetry
+from repro.obs.telemetry import Telemetry, summary_chrome_trace
+from repro.obs.tracing import MAIN_TID, Tracer, chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _no_global_telemetry():
+    """Each test starts and ends with telemetry disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+# -- counters / gauges ------------------------------------------------------
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    registry.counter("sim.samples").inc()
+    registry.counter("sim.samples").inc(4)
+    assert registry.counter("sim.samples").value == 5
+
+    gauge = registry.gauge("exec.depth")
+    gauge.set(3.0)
+    gauge.set_max(2.0)
+    assert gauge.value == 3.0
+    gauge.set_max(7.5)
+    assert gauge.value == 7.5
+
+
+# -- histogram bucket edges -------------------------------------------------
+
+
+def test_histogram_le_bucket_edges():
+    hist = Histogram(bounds=(1.0, 2.0))
+    hist.observe(1.0)    # == first bound -> bucket 0 (le semantics)
+    hist.observe(1.5)    # (1, 2]        -> bucket 1
+    hist.observe(2.0)    # == second bound -> bucket 1
+    hist.observe(2.1)    # beyond last bound -> overflow bucket
+    assert hist.counts == [1, 2, 1]
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(6.6)
+    assert hist.mean == pytest.approx(1.65)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(bounds=())
+
+
+# -- merge semantics --------------------------------------------------------
+
+
+def _registry_with(counter_incs, observations):
+    registry = MetricsRegistry()
+    for name, amount in counter_incs:
+        registry.counter(name).inc(amount)
+    for name, value in observations:
+        registry.histogram(name, bounds=(0.1, 1.0)).observe(value)
+    return registry
+
+
+def test_merge_is_order_invariant():
+    parts = [
+        _registry_with([("sim.samples", 3)], [("time.cell", 0.05)]),
+        _registry_with([("sim.samples", 2), ("sim.cells", 1)],
+                       [("time.cell", 0.5)]),
+        _registry_with([("sim.cells", 4)], [("time.cell", 5.0)]),
+    ]
+    snapshots = [part.as_dict() for part in parts]
+
+    forward = MetricsRegistry()
+    for snap in snapshots:
+        forward.merge_dict(snap)
+    backward = MetricsRegistry()
+    for snap in reversed(snapshots):
+        backward.merge_dict(snap)
+
+    assert forward.as_dict() == backward.as_dict()
+    assert forward.counter("sim.samples").value == 5
+    assert forward.counter("sim.cells").value == 5
+    assert forward.histogram("time.cell", (0.1, 1.0)).counts == [1, 1, 1]
+
+
+def test_merge_rejects_mismatched_histogram_bounds():
+    target = MetricsRegistry()
+    target.histogram("time.cell", bounds=(0.1, 1.0)).observe(0.2)
+    foreign = MetricsRegistry()
+    foreign.histogram("time.cell", bounds=(0.5, 2.0)).observe(0.2)
+    with pytest.raises(ValueError, match="mismatched bounds"):
+        target.merge_dict(foreign.as_dict())
+
+
+def test_subtract_snapshot_roundtrip():
+    """merge(before, delta(after, before)) == after — the worker contract."""
+    registry = MetricsRegistry()
+    registry.counter("sim.samples").inc(3)
+    registry.histogram("time.cell", (0.1, 1.0)).observe(0.05)
+    before = registry.as_dict()
+
+    registry.counter("sim.samples").inc(2)
+    registry.counter("sim.cells").inc()
+    registry.histogram("time.cell", (0.1, 1.0)).observe(0.7)
+    registry.gauge("exec.depth").set_max(4.0)
+    after = registry.as_dict()
+
+    delta = subtract_snapshot(after, before)
+    # Unchanged counters are dropped from the delta entirely.
+    assert "sim.samples" in delta["counters"]
+    rebuilt = MetricsRegistry()
+    rebuilt.merge_dict(before)
+    rebuilt.merge_dict(delta)
+    assert rebuilt.as_dict() == after
+
+
+def test_subtract_snapshot_drops_zero_deltas():
+    registry = MetricsRegistry()
+    registry.counter("sim.samples").inc(3)
+    snap = registry.as_dict()
+    delta = subtract_snapshot(snap, snap)
+    assert delta["counters"] == {}
+    assert delta["histograms"] == {}
+
+
+def test_deterministic_counters_slices_sim_namespace():
+    registry = MetricsRegistry()
+    registry.counter("sim.samples").inc(7)
+    registry.counter("exec.workers_spawned").inc(2)
+    registry.counter("sim.class.masked").inc(5)
+    det = deterministic_counters(registry.as_dict())
+    assert det == {"sim.samples": 7, "sim.class.masked": 5}
+
+
+# -- tracing ----------------------------------------------------------------
+
+
+def test_tracer_span_and_chrome_export_schema():
+    tracer = Tracer()
+    with tracer.span("cell", workload="crc32"):
+        pass
+    tracer.instant("incident", kind="watchdog")
+    assert len(tracer.events) == 2
+
+    trace = chrome_trace(list(tracer.events))
+    assert validate_chrome_trace(trace) == []
+    # Must survive a JSON round trip unchanged (that is the export format).
+    assert json.loads(json.dumps(trace)) == trace
+
+    by_ph = {event["ph"]: event for event in trace["traceEvents"]}
+    assert by_ph["M"]["args"]["name"] == "main"
+    assert by_ph["X"]["name"] == "cell"
+    assert by_ph["X"]["args"] == {"workload": "crc32"}
+    assert by_ph["X"]["ts"] == 0  # rebased to the earliest event
+    assert by_ph["i"]["s"] == "t"
+
+
+def test_tracer_caps_events_and_counts_drops():
+    tracer = Tracer(max_events=2)
+    for _ in range(5):
+        tracer.instant("tick")
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+    trace = chrome_trace(tracer.drain(), dropped=tracer.dropped)
+    assert trace["metadata"]["dropped_events"] == 3
+
+
+def test_tracer_adopt_rewrites_tid():
+    parent = Tracer()
+    worker = Tracer()
+    with worker.span("worker-batch", worker=1):
+        pass
+    parent.adopt(worker.drain(), tid=2)
+    assert worker.events == []
+    assert parent.events[0]["tid"] == 2
+    names = {
+        event["args"]["name"]
+        for event in chrome_trace(parent.events)["traceEvents"]
+        if event["ph"] == "M"
+    }
+    assert names == {"worker-1"}
+    assert MAIN_TID == 0
+
+
+# -- telemetry facade -------------------------------------------------------
+
+
+def test_telemetry_summary_valid_and_writes(tmp_path):
+    telemetry = Telemetry()
+    with telemetry.span("golden-run", workload="sha"):
+        pass
+    telemetry.metrics.counter("sim.samples").inc(10)
+
+    summary = telemetry.summary()
+    assert validate_telemetry(summary) == []
+    assert summary["deterministic_counters"] == {"sim.samples": 10}
+    assert "time.golden-run" in summary["histograms"]
+    assert validate_chrome_trace(summary_chrome_trace(summary)) == []
+
+    path = telemetry.write(tmp_path / "telemetry.json")
+    on_disk = json.loads(path.read_text())
+    assert validate_telemetry(on_disk) == []
+
+
+def test_obs_enable_disable_span():
+    assert obs.active() is None
+    assert obs.span("noop") is obs.NULL_SPAN
+
+    telemetry = obs.enable()
+    assert obs.active() is telemetry
+    with obs.span("cell", workload="crc32"):
+        pass
+    assert telemetry.tracer.events[0]["name"] == "cell"
+    assert telemetry.metrics.histograms["time.cell"].count == 1
+
+    obs.disable()
+    assert obs.active() is None
+
+
+# -- schema validators must actually reject ---------------------------------
+
+
+def test_validate_telemetry_rejects_malformed():
+    good = Telemetry().summary()
+    assert validate_telemetry(good) == []
+
+    assert validate_telemetry([]) != []
+    assert validate_telemetry({**good, "kind": "nope"}) != []
+    assert validate_telemetry({**good, "counters": {"sim.x": 1.5}}) != []
+    assert validate_telemetry(
+        {**good, "deterministic_counters": {"exec.x": 1}}
+    ) != []
+    bad_hist = {
+        **good,
+        "histograms": {
+            "time.cell": {"bounds": [1.0], "counts": [1], "sum": 0.5,
+                          "count": 1},
+        },
+    }
+    assert any("len(bounds)+1" in e for e in validate_telemetry(bad_hist))
+
+
+def test_validate_chrome_trace_rejects_malformed():
+    assert validate_chrome_trace({"traceEvents": "x"}) != []
+    assert validate_chrome_trace(
+        {"traceEvents": [{"name": "a", "ph": "X", "pid": 0, "tid": 0,
+                          "ts": 1}]}
+    ) != []  # complete event without dur
+    assert validate_chrome_trace(
+        {"traceEvents": [{"name": "a", "ph": "i", "pid": 0, "tid": 0,
+                          "ts": 1}]}
+    ) != []  # instant without scope
+
+
+# -- ETA tracker ------------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_eta_tracker_rates_and_eta():
+    clock = _FakeClock()
+    eta = EtaTracker(samples_per_cell=10, clock=clock)
+    assert eta.render() == ""  # no data yet
+
+    eta.update(1, 5)
+    assert eta.render() == ""  # one event is not a rate
+
+    clock.now += 2.0
+    eta.update(2, 5)
+    assert eta.cells_per_sec == pytest.approx(0.5)
+    assert eta.samples_per_sec == pytest.approx(5.0)
+    assert eta.eta_seconds == pytest.approx(6.0)
+    assert eta.render() == "5.0 samp/s · ETA 0:06"
+
+    clock.now += 2.0
+    eta.update(5, 5)
+    assert eta.cells_remaining == 0
+    assert eta.eta_seconds is None
+    assert "ETA" not in eta.render()
+
+
+def test_eta_tracker_burst_falls_back_to_since_start():
+    """Buffered parallel completions land microseconds apart; the rate
+    must come from the since-start average, not the burst window."""
+    clock = _FakeClock()
+    eta = EtaTracker(samples_per_cell=10, clock=clock)
+    clock.now += 10.0
+    eta.update(1, 4)
+    clock.now += 0.001
+    eta.update(2, 4)
+    # Window span ~1ms would claim 1000 cells/s; since-start gives 2/10s.
+    assert eta.cells_per_sec == pytest.approx(2 / 10.001, rel=1e-3)
+
+
+def test_eta_tracker_silent_on_instant_replay():
+    """A fully store-cached campaign replays in milliseconds; the tracker
+    must show nothing rather than an absurd extrapolated rate."""
+    clock = _FakeClock()
+    eta = EtaTracker(samples_per_cell=10, clock=clock)
+    clock.now += 0.0001
+    eta.update(1, 4)
+    clock.now += 0.0001
+    eta.update(2, 4)
+    assert eta.cells_per_sec is None
+    assert eta.render() == ""
+
+
+def test_eta_tracker_sliding_window_tracks_speedup():
+    clock = _FakeClock()
+    eta = EtaTracker(samples_per_cell=1, window=3, clock=clock)
+    for done, dt in ((1, 0.0), (2, 100.0), (3, 2.0), (4, 2.0)):
+        clock.now += dt
+        eta.update(done, 10)
+    # Window holds the last 3 events (done=2..4, 4s apart): recent rate,
+    # not the 100s cold start.
+    assert eta.cells_per_sec == pytest.approx(0.5)
+
+
+def test_format_duration():
+    assert format_duration(4.2) == "0:04"
+    assert format_duration(95.0) == "1:35"
+    assert format_duration(3725.4) == "1:02:05"
+    assert format_duration(-3.0) == "0:00"
