@@ -165,10 +165,17 @@ class CampaignConfig:
 
         Includes a fingerprint of the simulated platform (the core config
         and the page size) so cached results are invalidated whenever the
-        machine being injected changes.
+        machine being injected changes.  Purely observational knobs
+        (``check_invariants``) are canonicalised away first: a --verify
+        campaign simulates the identical machine, so its results must
+        share cache entries with — and stay byte-identical to — a plain
+        run.
         """
+        import dataclasses
+
         from repro.mem.paging import PAGE_SHIFT
 
+        platform_cfg = dataclasses.replace(core_cfg, check_invariants=False)
         blob = json.dumps(
             {
                 "workload": workload,
@@ -178,8 +185,8 @@ class CampaignConfig:
                 "seed": self.seed,
                 "cluster": [self.cluster.rows, self.cluster.cols],
                 "placement": self.placement,
-                "platform": repr(core_cfg) + f"/page{PAGE_SHIFT}",
-                "version": 1,
+                "platform": repr(platform_cfg) + f"/page{PAGE_SHIFT}",
+                "version": 2,
             },
             sort_keys=True,
         )
@@ -398,6 +405,7 @@ def run_one_injection(
     checkpoints: CheckpointedWorkload | None = None,
     max_steps: int | None = None,
     trace: dict | None = None,
+    verify: bool = False,
 ) -> tuple[FaultClass, RunResult, FaultMask]:
     """One complete injection experiment; see the module docstring.
 
@@ -406,6 +414,10 @@ def run_one_injection(
     *max_steps* arms the step-count watchdog on the faulty run; *trace*,
     when a dict, receives intermediate artifacts (currently ``"mask"``) so
     a supervisor can build a repro bundle even when the run blows up later.
+    *verify* adds oracle cross-checks (mask-application accounting, and
+    Masked outcomes compared against the ISA-level reference); the checks
+    consume no randomness and never touch simulation state, so the
+    returned verdict/result/mask are bit-identical either way.
     """
     golden = golden_run(workload, core_cfg)
     max_cycles = TIMEOUT_FACTOR * golden.cycles
@@ -437,12 +449,26 @@ def run_one_injection(
     if tel is not None:
         prefixed = clock()
         tel.metrics.histogram("time.phase.prefix").observe(prefixed - restored)
-    inject(system, mask)
+    if verify:
+        from repro.verify.invariants import (
+            check_mask_applied, snapshot_mask_bits,
+        )
+
+        target = system.injectable_targets()[component]
+        before = snapshot_mask_bits(target, mask)
+        inject(system, mask)
+        check_mask_applied(target, mask, before)
+    else:
+        inject(system, mask)
     result = system.run(max_cycles, max_steps=max_steps)
     if tel is not None:
         ran = clock()
         tel.metrics.histogram("time.phase.faulty").observe(ran - prefixed)
     verdict = classify(result, golden)
+    if verify and verdict is FaultClass.MASKED:
+        from repro.verify.differential import check_masked_run
+
+        check_masked_run(workload, result, core_cfg)
     if tel is not None:
         tel.metrics.histogram("time.phase.classify").observe(clock() - ran)
         tel.metrics.counter("sim.injections").inc()
@@ -516,8 +542,15 @@ def run_cell(
     checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = True,
     stop: Callable[[], bool] | None = None,
+    verify: bool = False,
 ) -> CellResult:
     """Run all of one cell's injections.
+
+    With *verify*, the workload's fault-free run is first cross-checked in
+    lock step against the ISA-level reference oracle (cached per workload +
+    config), and every sample adds the oracle checks described under
+    :func:`run_one_injection`.  Verification consumes no randomness, so a
+    verified cell's counts are byte-identical to an unverified one's.
 
     With *store* and *cell_key*, mid-cell progress is checkpointed every
     *checkpoint_every* samples and (when *resume* is true) picked up again
@@ -534,6 +567,10 @@ def run_cell(
     tel = obs.active()
     workload = get_workload(workload_name)
     golden = golden_run(workload, core_cfg)
+    if verify:
+        from repro.verify.differential import verify_workload
+
+        verify_workload(workload, core_cfg)
     cell_seed = f"{config.seed}:{workload_name}:{component}:{cardinality}"
     generator = MultiBitFaultGenerator(
         cluster=config.cluster, mode=config.placement, seed=cell_seed
@@ -574,11 +611,12 @@ def run_cell(
                     workload, component, generator, cardinality, inject_cycle,
                     core_cfg, checkpoints=checkpoints,
                     cell_seed=cell_seed, sample_index=index,
+                    verify=verify,
                 )
             else:
                 fault_class, _, _ = run_one_injection(
                     workload, component, generator, cardinality, inject_cycle,
-                    core_cfg, checkpoints=checkpoints,
+                    core_cfg, checkpoints=checkpoints, verify=verify,
                 )
             if fault_class is not None:
                 counts.add(fault_class)
@@ -643,12 +681,15 @@ def run_campaign(
     checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = True,
     jobs: int = 1,
+    verify: bool = False,
 ) -> CampaignResult:
     """Run (or resume, via *store*) a full campaign.
 
     ``jobs > 1`` shards the cell grid across a multiprocessing worker pool
     (see :mod:`repro.core.parallel`); cells are independently seeded, so
-    the merged result is byte-identical to the serial run.
+    the merged result is byte-identical to the serial run.  *verify* turns
+    on the oracle cross-checks of :func:`run_cell` for every cell; results
+    stay byte-identical to a non-verify run.
     """
     if jobs > 1:
         from repro.core.parallel import run_campaign_parallel
@@ -657,6 +698,7 @@ def run_campaign(
             config, jobs=jobs, progress=progress, store=store,
             core_cfg=core_cfg, supervisor=supervisor,
             checkpoint_every=checkpoint_every, resume=resume,
+            verify=verify,
         )
     cells = config.cells()
     results: list[CellResult] = []
@@ -668,6 +710,7 @@ def run_campaign(
                 workload, component, cardinality, config, core_cfg,
                 supervisor=supervisor, store=store, cell_key=key,
                 checkpoint_every=checkpoint_every, resume=resume,
+                verify=verify,
             )
             if store is not None:
                 store.put(key, cached)

@@ -13,6 +13,8 @@ Examples::
     repro-campaign report --results results.json --artifact table5
     repro-campaign golden
     repro-campaign static --artifact table6
+    repro-campaign run --samples 20 --verify   # oracle-checked campaign
+    repro-campaign fuzz --programs 25 --seed 0
 """
 
 from __future__ import annotations
@@ -120,6 +122,14 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         "it to PATH (default: <store>.telemetry.json next to --store, else "
         "telemetry.json); inspect with the stats and trace subcommands",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="cross-check the campaign against the ISA-level reference "
+        "oracle: differential-verify each workload's fault-free run, audit "
+        "mask application, compare every Masked outcome's architectural "
+        "state, and enable per-commit pipeline invariants (slower; "
+        "results are byte-identical to a non-verify run)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
@@ -196,13 +206,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    core_cfg = DEFAULT_CONFIG
+    if args.verify:
+        from dataclasses import replace
+
+        core_cfg = replace(DEFAULT_CONFIG, check_invariants=True)
+
     try:
         result = run_campaign(
             config, progress=progress, store=store,
+            core_cfg=core_cfg,
             supervisor=supervisor,
             checkpoint_every=args.checkpoint_every or None,
             resume=args.resume,
             jobs=args.jobs,
+            verify=args.verify,
         )
     except InjectionIncident as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
@@ -340,6 +358,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    def progress(done: int, total: int, report) -> None:
+        status = "ok" if report.ok else f"{len(report.divergences)} DIVERGENT"
+        print(
+            f"[{done:>4}/{total}] {report.instructions:,} instructions "
+            f"compared, {status}",
+            file=sys.stderr,
+        )
+
+    report = run_fuzz(
+        args.programs, seed=args.seed, length=args.length,
+        progress=progress if not args.quiet else None,
+    )
+    if report.ok:
+        print(
+            f"fuzz: {report.programs} programs, {report.instructions:,} "
+            f"retired instructions compared against the oracle, "
+            f"0 divergences"
+        )
+        return 0
+    for div in report.divergences:
+        print(f"=== divergent program {div.index} (seed {div.seed!r}) ===")
+        print(div.message)
+        print("--- program source ---")
+        print(div.source)
+    print(
+        f"fuzz: {len(report.divergences)}/{report.programs} programs "
+        f"diverged from the reference oracle",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _cmd_golden(args: argparse.Namespace) -> int:
     names = args.workloads or workload_names()
     measured = {}
@@ -444,6 +497,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_golden.add_argument("--workloads", nargs="*", default=None)
     p_golden.set_defaults(func=_cmd_golden)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the simulator against the ISA-level "
+        "reference oracle with random programs",
+    )
+    p_fuzz.add_argument(
+        "--programs", type=int, default=25, metavar="N",
+        help="number of random programs to generate and compare (default 25)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="fuzz seed; program i uses ProgramFuzzer seed '<seed>:<i>'",
+    )
+    p_fuzz.add_argument(
+        "--length", type=int, default=40, metavar="N",
+        help="approximate instructions generated per program (default 40)",
+    )
+    p_fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress per-program progress",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -204,6 +204,7 @@ def _worker_main(
     telemetry_enabled: bool,
     stop_event,
     crash_spec: dict | None,
+    verify: bool = False,
 ) -> None:
     """Worker loop: request a task batch, run its cells, stream results.
 
@@ -274,6 +275,7 @@ def _worker_main(
                         store=store_proxy, cell_key=task.cell_key,
                         checkpoint_every=checkpoint_every, resume=True,
                         stop=stop_event.is_set,
+                        verify=verify,
                     )
                 except CampaignInterrupted:
                     shipper.ship()
@@ -359,12 +361,12 @@ class _Pool:
         task_queue = self.ctx.Queue()
         result_queue, config, core_cfg, supervised, strict, watchdog, \
             checkpoint_every, telemetry_enabled, stop_event, \
-            crash_spec = self.worker_args
+            crash_spec, verify = self.worker_args
         proc = self.ctx.Process(
             target=_worker_main,
             args=(worker_id, task_queue, result_queue, config, core_cfg,
                   supervised, strict, watchdog, checkpoint_every,
-                  telemetry_enabled, stop_event, crash_spec),
+                  telemetry_enabled, stop_event, crash_spec, verify),
             daemon=True,
         )
         proc.start()
@@ -412,6 +414,7 @@ def run_campaign_parallel(
     supervisor=None,
     checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = True,
+    verify: bool = False,
     _crash_spec: dict | None = None,
 ) -> CampaignResult:
     """Run a campaign across *jobs* worker processes.
@@ -494,7 +497,7 @@ def run_campaign_parallel(
     pool = _Pool(ctx, min(jobs, len(batches)), (
         result_queue, config, core_cfg, supervisor is not None, strict,
         watchdog, checkpoint_every, parent_tel is not None, stop_event,
-        _crash_spec,
+        _crash_spec, verify,
     ))
     if parent_tel is not None:
         parent_tel.metrics.gauge("exec.scheduler.batches").set_max(

@@ -63,6 +63,43 @@ def error_margin(
     )
 
 
+def binomial_confidence_interval(
+    successes: int,
+    trials: int,
+    confidence: float = 0.99,
+    method: str = "wilson",
+) -> tuple[float, float]:
+    """Two-sided confidence interval for a binomial proportion.
+
+    Campaign cells report class fractions out of *trials* injections
+    (2,000 per cell in the paper); this puts error bars on them.  The
+    default is the Wilson score interval, which stays inside [0, 1] and
+    behaves at the p→0/p→1 extremes typical of Masked/Assert fractions;
+    ``method="wald"`` gives the textbook normal approximation
+    ``p ± t·sqrt(p(1-p)/n)`` — with the paper's n = 2,000, conf = 99%,
+    p = 0.5 its half-width is the familiar 2.88%.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in [0, trials]: {successes}/{trials}"
+        )
+    t = _t_value(confidence)
+    p = successes / trials
+    if method == "wald":
+        half = t * math.sqrt(p * (1 - p) / trials)
+        return max(0.0, p - half), min(1.0, p + half)
+    if method == "wilson":
+        denom = 1 + t ** 2 / trials
+        centre = (p + t ** 2 / (2 * trials)) / denom
+        half = t * math.sqrt(
+            p * (1 - p) / trials + t ** 2 / (4 * trials ** 2)
+        ) / denom
+        return max(0.0, centre - half), min(1.0, centre + half)
+    raise ValueError(f"unknown method {method!r} (use 'wilson' or 'wald')")
+
+
 def fault_population(bits: int, cycles: int, cardinality: int = 1) -> int:
     """Size of the fault space for one campaign cell.
 

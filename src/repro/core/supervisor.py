@@ -200,11 +200,15 @@ class Supervisor:
         *,
         cell_seed: str = "",
         sample_index: int = 0,
+        verify: bool = False,
     ) -> FaultClass | None:
         """One injection inside the containment boundary.
 
         Returns the fault class, or ``None`` when the sample was lost to a
-        contained incident.
+        contained incident.  A failed *verify* cross-check (a
+        :class:`~repro.errors.VerificationError`) is contained like any
+        other platform bug — journalled with a full repro bundle, and
+        escalated in ``--strict`` mode.
         """
         trace: dict = {}
         max_steps = None
@@ -215,7 +219,7 @@ class Supervisor:
             fault_class, _, _ = run_one_injection(
                 workload, component, generator, cardinality, inject_cycle,
                 core_cfg, checkpoints=checkpoints, max_steps=max_steps,
-                trace=trace,
+                trace=trace, verify=verify,
             )
             return fault_class
         except SimAssertion:

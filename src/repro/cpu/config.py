@@ -73,6 +73,13 @@ class CoreConfig:
     # Watchdogs (simulation guards, not microarchitecture).
     deadlock_window: int = 3000
 
+    # Verification (not microarchitecture): attach the repro.verify
+    # invariant checker to the core, running structural checks after every
+    # commit stage.  Purely observational — a compliant pipeline simulates
+    # bit-identically with this on or off, which is why campaign cell keys
+    # canonicalise it away (see CampaignConfig.cell_key).
+    check_invariants: bool = False
+
     # Reported only (Table I completeness); the model is cycle-based.
     clock_ghz: float = 2.0
 

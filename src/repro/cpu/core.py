@@ -117,6 +117,15 @@ class OutOfOrderCore:
         #: Set when the run reaches a terminal state.
         self.result: RunResult | None = None
 
+        #: Optional verification taps (see :mod:`repro.verify`).  Both stay
+        #: ``None`` outside verification runs so the pipeline fast paths pay
+        #: one attribute check, nothing more.  ``commit_hook`` is called with
+        #: each retired uop after its bookkeeping completes;
+        #: ``invariant_checker.check_core(self)`` runs once per step after
+        #: the commit stage.
+        self.commit_hook = None
+        self.invariant_checker = None
+
     # ------------------------------------------------------------------ setup
 
     def reset(self, entry_pc: int, initial_sp: int) -> None:
@@ -176,6 +185,8 @@ class OutOfOrderCore:
         identical no-ops, so the jump is an exact fast-forward.
         """
         active = self._commit()
+        if self.invariant_checker is not None and self.result is None:
+            self.invariant_checker.check_core(self)
         if self.result is not None:
             return
         active |= self._writeback()
@@ -252,6 +263,8 @@ class OutOfOrderCore:
                 self.lq.pop(0)
             self.stats.committed += 1
             self.last_commit_cycle = self.cycle
+            if self.commit_hook is not None:
+                self.commit_hook(uop)
             committed = True
         return committed
 

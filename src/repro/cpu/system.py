@@ -50,6 +50,10 @@ class System:
         self.core = OutOfOrderCore(
             cfg, self.l1i, self.l1d, self.itlb, self.dtlb, self.kernel
         )
+        if cfg.check_invariants:
+            from repro.verify.invariants import InvariantChecker
+
+            self.core.invariant_checker = InvariantChecker()
         self.process: LoadedProcess | None = None
 
     def load(self, program: Program) -> LoadedProcess:

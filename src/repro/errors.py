@@ -59,6 +59,37 @@ class InjectionIncident(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """The verification subsystem (:mod:`repro.verify`) failed a check.
+
+    Deliberately *not* a :class:`SimAssertion`: a simulator assertion is a
+    modelled fault effect (the paper's *Assert* class), while a verification
+    failure means the simulator and its independent ISA-level oracle
+    disagree — a bug in the platform itself that must surface loudly, never
+    be classified as a fault outcome.
+    """
+
+
+class DivergenceError(VerificationError):
+    """The out-of-order core's committed state diverged from the oracle.
+
+    Raised by :mod:`repro.verify.differential` at the first retired
+    instruction whose (pc, encoding, register writeback, memory store)
+    differs between the out-of-order system and the in-order ISA-level
+    reference executor, or when their terminal states disagree.
+    """
+
+
+class InvariantViolation(VerificationError):
+    """A microarchitectural invariant failed during simulation.
+
+    Raised by :mod:`repro.verify.invariants` when a structural property the
+    pipeline must maintain by construction (ROB program order, free-list /
+    rename-map conservation, clean-cache-line coherence with the backing
+    memory, TLB consistency with the page tables) is observed broken.
+    """
+
+
 class CampaignInterrupted(ReproError):
     """A campaign was asked to stop (Ctrl-C / stop event) and wound down.
 

@@ -282,6 +282,48 @@ class Cache:
     def line_tag_valid(self, idx: int) -> tuple[int, bool]:
         return self._tags[idx], self._valid[idx]
 
+    # -- audit accessors (verification subsystem) -------------------------------
+    #
+    # Everything below is strictly non-mutating: no LRU touches, no fills, no
+    # stat updates.  The invariant checker must be able to observe the
+    # hierarchy without perturbing the replacement state it is auditing.
+
+    def audit_lines(self):
+        """Yield ``(line index, physical line address, dirty)`` per valid line."""
+        for set_idx in range(self.num_sets):
+            for way in range(self.assoc):
+                idx = set_idx * self.assoc + way
+                if self._valid[idx]:
+                    yield (
+                        idx,
+                        self._line_addr(set_idx, self._tags[idx]),
+                        self._dirty[idx],
+                    )
+
+    def peek_line(self, idx: int) -> bytes:
+        """Copy of a physical line's data, valid or not."""
+        return bytes(self._data[idx])
+
+    def peek_range(self, paddr: int, length: int) -> bytes:
+        """Read through the hierarchy without mutating any level.
+
+        Returns the bytes an access at this level *would* observe: the
+        local line on a hit, otherwise whatever the next level would
+        observe (recursively down to :class:`PhysicalMemory`).
+        """
+        hit = self.probe(paddr)
+        if hit is not None:
+            idx, offset = hit
+            return bytes(self._data[idx][offset:offset + length])
+        nxt = self.next_level
+        if isinstance(nxt, Cache):
+            return nxt.peek_range(paddr, length)
+        return nxt.read(paddr, length)
+
+    def lru_order(self, set_idx: int) -> list[int]:
+        """Copy of a set's LRU stack (way indices, most recent last)."""
+        return list(self._lru[set_idx])
+
     def flush_all(self) -> None:
         """Write back every dirty line and invalidate the cache."""
         for set_idx in range(self.num_sets):

@@ -241,3 +241,14 @@ class TLB:
         return [
             TLBEntryFields(word) for word in self.packed if word & VALID_BIT
         ]
+
+    def audit_entries(self):
+        """Yield ``(entry index, decoded fields)`` per valid entry.
+
+        Non-mutating (no LRU touch, no latch update): the verification
+        subsystem uses this to cross-check cached translations against the
+        page tables without perturbing replacement state.
+        """
+        for idx, word in enumerate(self.packed):
+            if word & VALID_BIT:
+                yield idx, TLBEntryFields(word)

@@ -1,0 +1,51 @@
+"""Verification subsystem: differential oracle, invariants, fuzzing.
+
+Three independent lines of defence against platform bugs that would
+silently skew fault-effect classification:
+
+* :mod:`repro.verify.reference` — an in-order ISA-level executor (no
+  caches, no TLBs, no out-of-order machinery) serving as an independent
+  oracle for architectural behaviour;
+* :mod:`repro.verify.differential` — lock-step comparison of the
+  out-of-order system's committed state against the oracle, plus the
+  cached workload-level checks behind campaign ``--verify`` mode;
+* :mod:`repro.verify.invariants` — structural checks on the live
+  pipeline and memory hierarchy (ROB order, rename conservation,
+  clean-line coherence, TLB/page-table consistency, mask accounting);
+* :mod:`repro.verify.fuzz` — a seeded random-program generator driving
+  the differential harness over adversarial instruction mixes
+  (``repro-campaign fuzz``).
+"""
+
+from repro.verify.differential import (
+    DifferentialReport,
+    check_masked_run,
+    reference_run,
+    run_differential,
+    verify_workload,
+)
+from repro.verify.fuzz import FuzzReport, ProgramFuzzer, run_fuzz
+from repro.verify.invariants import (
+    InvariantChecker,
+    check_mask_applied,
+    snapshot_mask_bits,
+    state_fingerprint,
+)
+from repro.verify.reference import CommitRecord, ReferenceExecutor
+
+__all__ = [
+    "CommitRecord",
+    "DifferentialReport",
+    "FuzzReport",
+    "InvariantChecker",
+    "ProgramFuzzer",
+    "ReferenceExecutor",
+    "check_mask_applied",
+    "check_masked_run",
+    "reference_run",
+    "run_differential",
+    "run_fuzz",
+    "snapshot_mask_bits",
+    "state_fingerprint",
+    "verify_workload",
+]

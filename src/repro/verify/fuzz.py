@@ -1,0 +1,244 @@
+"""Seeded random-program fuzzing over the differential oracle.
+
+Hand-written workloads exercise the pipeline the way a careful programmer
+would; fuzzed programs exercise it the way an adversary would — dense
+dependency chains, branchy control flow, byte/word aliasing in a shared
+buffer, guarded divisions.  Every generated program is run through
+:func:`repro.verify.differential.run_differential`, so any disagreement
+between the out-of-order core and the ISA-level oracle on *any* reachable
+behaviour surfaces as a first-divergence report with the offending
+program's full source attached for replay.
+
+Generation is deterministic per ``(seed, index, length)``: program *i* of
+a fuzz run is ``ProgramFuzzer(f"{seed}:{i}", length)``, so a divergence
+report names everything needed to reproduce it in isolation.
+
+Termination by construction: the only backward branches are counted loops
+over a dedicated counter register that no generated body instruction may
+write, and every program ends by printing a fold of its working registers
+(so computed values are architecturally live) and exiting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import VerificationError
+from repro.isa.assembler import assemble
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.verify.differential import run_differential
+
+#: Working registers the fuzzer computes in.  r0 is the syscall argument,
+#: r1 the data-buffer base, r2 the loop counter; r12+ are FP/SP/LR.
+_WORK_REGS = tuple(range(3, 12))
+
+_ALU_R = (
+    "add", "sub", "mul", "and", "orr", "eor",
+    "lsl", "lsr", "asr", "slt", "sltu",
+)
+_COND_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+#: Bytes reserved in the shared load/store buffer.
+_BUF_SIZE = 256
+
+
+class ProgramFuzzer:
+    """Generates one random-but-terminating assembly program."""
+
+    def __init__(self, seed, length: int = 40) -> None:
+        self.seed = seed
+        self.length = length
+        self._rng = random.Random(f"repro-fuzz:{seed}")
+        self._labels = 0
+
+    def _label(self) -> str:
+        self._labels += 1
+        return f"L{self._labels}"
+
+    def _reg(self) -> str:
+        return f"r{self._rng.choice(_WORK_REGS)}"
+
+    # -- segment emitters (each returns a list of source lines) --------------
+
+    def _seg_alu_r(self) -> list[str]:
+        op = self._rng.choice(_ALU_R)
+        return [f"        {op} {self._reg()}, {self._reg()}, {self._reg()}"]
+
+    def _seg_alu_i(self) -> list[str]:
+        rng = self._rng
+        kind = rng.randrange(3)
+        if kind == 0:
+            op = rng.choice(("addi", "slti"))
+            imm = rng.randint(-32768, 32767)
+        elif kind == 1:
+            op = rng.choice(("andi", "orri", "eori"))
+            imm = rng.randint(0, 65535)
+        else:
+            op = rng.choice(("lsli", "lsri", "asri"))
+            imm = rng.randint(0, 31)
+        return [f"        {op} {self._reg()}, {self._reg()}, #{imm}"]
+
+    def _seg_divmod(self) -> list[str]:
+        rd, ra, rb = self._reg(), self._reg(), self._reg()
+        op = self._rng.choice(("div", "mod"))
+        # orri #1 makes the divisor provably non-zero.
+        return [
+            f"        orri {rb}, {rb}, #1",
+            f"        {op} {rd}, {ra}, {rb}",
+        ]
+
+    def _seg_word_mem(self) -> list[str]:
+        rng = self._rng
+        off = 4 * rng.randrange(_BUF_SIZE // 4)
+        return [
+            f"        str {self._reg()}, [r1, #{off}]",
+            f"        ldr {self._reg()}, [r1, #{off}]",
+        ]
+
+    def _seg_byte_mem(self) -> list[str]:
+        rng = self._rng
+        off = rng.randrange(_BUF_SIZE)
+        return [
+            f"        strb {self._reg()}, [r1, #{off}]",
+            f"        ldrb {self._reg()}, [r1, #{rng.randrange(_BUF_SIZE)}]",
+        ]
+
+    def _seg_loop(self) -> list[str]:
+        rng = self._rng
+        label = self._label()
+        lines = [f"        movi r2, #{rng.randint(2, 6)}", f"{label}:"]
+        for _ in range(rng.randint(1, 2)):
+            lines.extend(
+                self._seg_alu_r() if rng.random() < 0.5 else self._seg_alu_i()
+            )
+        lines.append("        addi r2, r2, #-1")
+        lines.append(f"        bnez r2, {label}")
+        return lines
+
+    def _seg_skip(self) -> list[str]:
+        rng = self._rng
+        label = self._label()
+        if rng.random() < 0.3:
+            op = rng.choice(("beqz", "bnez"))
+            branch = f"        {op} {self._reg()}, {label}"
+        else:
+            op = rng.choice(_COND_BRANCHES)
+            branch = f"        {op} {self._reg()}, {self._reg()}, {label}"
+        lines = [branch]
+        for _ in range(rng.randint(1, 2)):
+            lines.extend(
+                self._seg_alu_r() if rng.random() < 0.5 else self._seg_alu_i()
+            )
+        lines.append(f"{label}:")
+        return lines
+
+    def _seg_putw(self) -> list[str]:
+        return [
+            f"        mov r0, {self._reg()}",
+            "        sys #1",
+        ]
+
+    _SEGMENTS = (
+        (_seg_alu_r, 5),
+        (_seg_alu_i, 5),
+        (_seg_divmod, 2),
+        (_seg_word_mem, 3),
+        (_seg_byte_mem, 2),
+        (_seg_loop, 2),
+        (_seg_skip, 2),
+        (_seg_putw, 1),
+    )
+
+    def source(self) -> str:
+        """Emit the program's assembly source."""
+        rng = self._rng
+        lines = [
+            "        .text",
+            "_start:",
+            "        la r1, buf",
+        ]
+        for reg in _WORK_REGS:
+            lines.append(f"        movi r{reg}, #{rng.randint(-32768, 32767)}")
+        emitters = [seg for seg, weight in self._SEGMENTS]
+        weights = [weight for seg, weight in self._SEGMENTS]
+        emitted = 0
+        while emitted < self.length:
+            seg = rng.choices(emitters, weights)[0](self)
+            lines.extend(seg)
+            emitted += sum(1 for line in seg if not line.endswith(":"))
+        # Epilogue: fold every working register into the output so dead-
+        # code elimination by accident (e.g. a broken writeback) is visible.
+        lines.append(f"        mov r0, r{_WORK_REGS[0]}")
+        for reg in _WORK_REGS[1:]:
+            lines.append(f"        eor r0, r0, r{reg}")
+        lines.append("        sys #1")
+        lines.append("        movi r0, #0")
+        lines.append("        sys #0")
+        lines.append("        .data")
+        lines.append(f"buf:    .space {_BUF_SIZE}")
+        return "\n".join(lines) + "\n"
+
+    def program(self):
+        return assemble(self.source())
+
+
+@dataclass
+class FuzzDivergence:
+    """One fuzz case the two implementations disagreed on."""
+
+    index: int        #: program number within the run
+    seed: str         #: exact ProgramFuzzer seed to replay it
+    message: str      #: the DivergenceError / InvariantViolation text
+    source: str       #: full assembly source of the failing program
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a differential fuzz run."""
+
+    programs: int = 0
+    instructions: int = 0   #: total retired instructions compared
+    divergences: list[FuzzDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def run_fuzz(
+    programs: int,
+    seed=0,
+    length: int = 40,
+    core_cfg: CoreConfig | None = None,
+    progress=None,
+) -> FuzzReport:
+    """Differentially fuzz *programs* random programs.
+
+    Each case runs with per-commit invariant checks and a final
+    cache/TLB audit in addition to the lock-step comparison.  Returns a
+    report rather than raising, so one divergent case does not hide the
+    rest of the batch.
+    """
+    if core_cfg is None:
+        from dataclasses import replace
+
+        core_cfg = replace(DEFAULT_CONFIG, check_invariants=True)
+    report = FuzzReport()
+    for index in range(programs):
+        case_seed = f"{seed}:{index}"
+        fuzzer = ProgramFuzzer(case_seed, length=length)
+        source = fuzzer.source()
+        try:
+            outcome = run_differential(
+                assemble(source), core_cfg, audit=True
+            )
+            report.instructions += outcome.committed
+        except VerificationError as exc:
+            report.divergences.append(
+                FuzzDivergence(index, case_seed, str(exc), source)
+            )
+        report.programs += 1
+        if progress is not None:
+            progress(index + 1, programs, report)
+    return report

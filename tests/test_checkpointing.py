@@ -108,6 +108,33 @@ def test_bounded_cache_evicts_least_recently_used():
     assert len(cache) == 2
 
 
+def test_every_checkpoint_restores_to_fresh_run_state():
+    """Restoring any checkpoint equals simulating from scratch, bit for bit.
+
+    The step function is a pure function of machine state, so the staged
+    run that built the snapshots and a cold run to the same cycle must
+    agree on *all* state — verified with the SHA-256 fingerprint over
+    core, caches, TLBs, kernel and physical memory.
+    """
+    from repro.cpu.system import System
+    from repro.verify.invariants import state_fingerprint
+
+    workload = get_workload(WORKLOAD)
+    golden = golden_run(workload)
+    checkpoints = CheckpointedWorkload(workload, snapshots=6)
+    assert checkpoints._cycles, "expected at least one snapshot"
+    for cycle in checkpoints._cycles:
+        restored = checkpoints.system_at(cycle)
+        assert restored.cycle == cycle
+        fresh = System()
+        fresh.load(workload.program())
+        assert fresh.run_until(cycle, golden.cycles + 10)
+        assert fresh.cycle == cycle
+        assert state_fingerprint(restored) == state_fingerprint(fresh), (
+            f"checkpoint at cycle {cycle} diverges from a fresh run"
+        )
+
+
 def test_checkpointed_injection_matches_direct():
     workload = get_workload(WORKLOAD)
     golden = golden_run(workload)

@@ -1,0 +1,114 @@
+"""Differential verification: lock-step comparison against the oracle.
+
+The load-bearing test here is the *seeded-bug* one: a deliberately broken
+ALU table is monkeypatched into the out-of-order core (only — the oracle
+keeps its own binding to the pristine semantics), and the differential
+harness must catch the divergence.  A verification subsystem that cannot
+detect a planted bug verifies nothing.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.cpu.core as core_module
+import repro.verify.differential as differential_module
+import repro.verify.reference as reference_module
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.cpu.config import DEFAULT_CONFIG
+from repro.errors import DivergenceError, VerificationError
+from repro.isa.opcodes import Op
+from repro.isa.semantics import ALU_OPS
+from repro.kernel.status import RunResult, RunStatus
+from repro.verify import (
+    check_masked_run,
+    reference_run,
+    run_differential,
+    verify_workload,
+)
+from repro.workloads import get_workload
+
+WORKLOAD = "susan_c"
+
+
+def _broken_alu():
+    """An ALU table whose ADD is off by one — the planted bug."""
+    return {**ALU_OPS, Op.ADD: lambda a, b: (a + b + 1) & 0xFFFFFFFF}
+
+
+def test_workload_passes_differential():
+    workload = get_workload(WORKLOAD)
+    report = run_differential(workload.program(), audit=True)
+    assert report.committed > 0
+    assert report.result.status is RunStatus.FINISHED
+    assert report.result.output == report.reference.output
+
+
+def test_seeded_pipeline_bug_is_caught(monkeypatch):
+    # Break the *core's* ALU binding only: the oracle imported its own
+    # reference to the pristine table at module load.
+    monkeypatch.setattr(core_module, "ALU_OPS", _broken_alu())
+    workload = get_workload(WORKLOAD)
+    with pytest.raises(DivergenceError) as excinfo:
+        run_differential(workload.program())
+    # The report names the first diverging instruction with context.
+    assert "0x" in str(excinfo.value)
+
+
+def test_seeded_oracle_bug_is_caught(monkeypatch):
+    # Symmetric check: breaking the oracle's binding must also diverge —
+    # the harness has no "trusted side".
+    monkeypatch.setattr(reference_module, "ALU_OPS", _broken_alu())
+    workload = get_workload(WORKLOAD)
+    with pytest.raises(DivergenceError):
+        run_differential(workload.program())
+
+
+def test_verify_workload_accepts_healthy_platform():
+    workload = get_workload(WORKLOAD)
+    verify_workload(workload, DEFAULT_CONFIG)  # must not raise
+
+
+def test_check_masked_run_accepts_clean_result():
+    workload = get_workload(WORKLOAD)
+    golden = reference_run(workload, DEFAULT_CONFIG)
+    check_masked_run(workload, golden, DEFAULT_CONFIG)  # must not raise
+
+
+def test_check_masked_run_catches_silent_corruption():
+    workload = get_workload(WORKLOAD)
+    golden = reference_run(workload, DEFAULT_CONFIG)
+    corrupted = bytearray(golden.output)
+    corrupted[0] ^= 0x01
+    fake = dataclasses.replace(golden, output=bytes(corrupted))
+    with pytest.raises(DivergenceError):
+        check_masked_run(workload, fake, DEFAULT_CONFIG)
+    fake_exit = dataclasses.replace(golden, exit_code=golden.exit_code + 1)
+    with pytest.raises(DivergenceError):
+        check_masked_run(workload, fake_exit, DEFAULT_CONFIG)
+
+
+def _smoke_config():
+    return CampaignConfig(
+        workloads=(WORKLOAD,),
+        components=("l1d", "regfile"),
+        cardinalities=(2,),
+        samples=6,
+        seed=1234,
+    )
+
+
+def test_verify_campaign_is_byte_identical():
+    """Acceptance criterion: --verify never changes campaign results."""
+    plain = run_campaign(_smoke_config())
+    verify_cfg = dataclasses.replace(DEFAULT_CONFIG, check_invariants=True)
+    verified = run_campaign(_smoke_config(), core_cfg=verify_cfg, verify=True)
+    assert plain.to_json() == verified.to_json()
+
+
+def test_run_differential_rejects_early_core_termination(monkeypatch):
+    # A core that terminates before the oracle is a divergence, not a pass:
+    # cap the core's cycle budget so it times out mid-program.
+    workload = get_workload(WORKLOAD)
+    with pytest.raises(VerificationError):
+        run_differential(workload.program(), max_cycles=50)

@@ -1,0 +1,150 @@
+"""Property-based tests for the multi-bit fault-mask generator.
+
+Thousands of seeds across representative and adversarial array
+geometries; for every generated mask we assert the full §III.B contract:
+
+* exactly N *distinct* bit flips (cardinality conservation);
+* every flip inside the target array bounds;
+* in clustered mode, the whole pattern fits the 3×3 cluster placed at the
+  recorded origin (and therefore a 3×3 bounding box);
+* in independent mode, distinct in-bounds bits with no shape constraint.
+"""
+
+import pytest
+
+from repro.core.generator import (
+    CLUSTERED,
+    INDEPENDENT,
+    ClusterShape,
+    MultiBitFaultGenerator,
+)
+from repro.cpu.system import System
+
+
+class FakeArray:
+    """Duck-typed injection target with arbitrary geometry."""
+
+    def __init__(self, rows: int, cols: int, name: str = "fake"):
+        self._rows = rows
+        self._cols = cols
+        self._name = name
+
+    @property
+    def inject_name(self) -> str:
+        return self._name
+
+    @property
+    def inject_rows(self) -> int:
+        return self._rows
+
+    @property
+    def inject_cols(self) -> int:
+        return self._cols
+
+    def flip_bit(self, row: int, col: int) -> None:  # pragma: no cover
+        pass
+
+    def read_bit(self, row: int, col: int) -> int:  # pragma: no cover
+        return 0
+
+
+#: Edge geometries: exactly cluster-sized, one-dimension-tight, tall-thin,
+#: wide-flat, and realistic SRAM shapes.
+GEOMETRIES = (
+    (3, 3),
+    (3, 512),
+    (512, 3),
+    (4, 5),
+    (64, 256),
+    (66, 32),
+    (8, 2048),
+    (8192, 32),
+)
+
+SEEDS_PER_CASE = 150  # x 8 geometries x 3 cardinalities = 3,600 masks/mode
+
+
+def check_mask_contract(mask, rows, cols, cardinality):
+    assert len(mask.bits) == cardinality
+    assert len(set(mask.bits)) == cardinality, "duplicate flip"
+    assert mask.cardinality == cardinality
+    assert list(mask.bits) == sorted(mask.bits), "bits not canonicalised"
+    for row, col in mask.bits:
+        assert 0 <= row < rows, f"row {row} outside {rows}x{cols}"
+        assert 0 <= col < cols, f"col {col} outside {rows}x{cols}"
+
+
+def test_clustered_masks_satisfy_contract_across_seed_space():
+    for rows, cols in GEOMETRIES:
+        target = FakeArray(rows, cols)
+        for seed in range(SEEDS_PER_CASE):
+            gen = MultiBitFaultGenerator(seed=seed)
+            for cardinality in (1, 2, 3):
+                mask = gen.generate(target, cardinality)
+                check_mask_contract(mask, rows, cols, cardinality)
+                # The pattern sits inside the 3x3 cluster at its origin...
+                r0, c0 = mask.origin
+                assert 0 <= r0 <= rows - 3 and 0 <= c0 <= cols - 3
+                for row, col in mask.bits:
+                    assert r0 <= row < r0 + 3
+                    assert c0 <= col < c0 + 3
+                # ...so its bounding box can never exceed 3x3.
+                height, width = mask.bounding_box()
+                assert 1 <= height <= 3
+                assert 1 <= width <= 3
+
+
+def test_independent_masks_satisfy_contract_across_seed_space():
+    for rows, cols in GEOMETRIES:
+        target = FakeArray(rows, cols)
+        for seed in range(SEEDS_PER_CASE):
+            gen = MultiBitFaultGenerator(mode=INDEPENDENT, seed=seed)
+            for cardinality in (2, 3):
+                mask = gen.generate(target, cardinality)
+                check_mask_contract(mask, rows, cols, cardinality)
+
+
+def test_mask_sequence_is_seed_deterministic():
+    target = FakeArray(64, 256)
+    a = MultiBitFaultGenerator(seed="cell")
+    b = MultiBitFaultGenerator(seed="cell")
+    for _ in range(50):
+        assert a.generate(target, 3) == b.generate(target, 3)
+
+
+def test_real_targets_satisfy_contract():
+    system = System()
+    gen = MultiBitFaultGenerator(seed=99)
+    for name, target in system.injectable_targets().items():
+        rows, cols = target.inject_rows, target.inject_cols
+        for cardinality in (2, 3):
+            mask = gen.generate(target, cardinality)
+            assert mask.component == name
+            check_mask_contract(mask, rows, cols, cardinality)
+
+
+def test_cardinality_must_fit_cluster():
+    with pytest.raises(ValueError, match="cannot fit"):
+        MultiBitFaultGenerator().generate(FakeArray(64, 64), 10)
+
+
+def test_target_must_fit_cluster():
+    with pytest.raises(ValueError, match="smaller than"):
+        MultiBitFaultGenerator().generate(FakeArray(2, 64), 2)
+    # Independent mode has no shape constraint: 2x2 target is fine.
+    mask = MultiBitFaultGenerator(mode=INDEPENDENT).generate(
+        FakeArray(2, 2), 4
+    )
+    assert len(mask.bits) == 4
+
+
+def test_custom_cluster_shape():
+    gen = MultiBitFaultGenerator(cluster=ClusterShape(2, 4))
+    target = FakeArray(16, 16)
+    for _ in range(200):
+        mask = gen.generate(target, 4)
+        height, width = mask.bounding_box()
+        assert 1 <= height <= 2
+        assert 1 <= width <= 4
+    with pytest.raises(ValueError):
+        ClusterShape(0, 3)

@@ -1,0 +1,247 @@
+"""The in-order reference executor agrees with the OoO pipeline.
+
+Every test assembles a small hand-written program, runs it on both the
+full out-of-order system (`run_program`) and the ISA-level oracle
+(`ReferenceExecutor`), and asserts the architecturally visible outcome is
+identical — status, crash taxonomy, faulting PC, detail string, syscall
+output, exit code and retired-instruction count.  Cycle counts are
+deliberately *not* compared: the oracle has no pipeline.
+"""
+
+import pytest
+
+from repro.cpu.system import run_program
+from repro.isa.assembler import assemble
+from repro.kernel.status import CrashReason, RunStatus
+from repro.verify.reference import ReferenceExecutor
+
+#: The architectural contract both implementations must agree on.
+ARCH_FIELDS = (
+    "status",
+    "crash_reason",
+    "crash_pc",
+    "detail",
+    "exit_code",
+    "output",
+    "instructions",
+)
+
+
+def run_both(source: str):
+    program = assemble(source)
+    ooo = run_program(program)
+    ref = ReferenceExecutor(program).run()
+    for name in ARCH_FIELDS:
+        assert getattr(ooo, name) == getattr(ref, name), (
+            f"{name}: pipeline={getattr(ooo, name)!r} "
+            f"oracle={getattr(ref, name)!r}"
+        )
+    return ooo, ref
+
+
+def test_arithmetic_and_output():
+    ooo, ref = run_both(
+        """
+        .text
+        _start:
+            movi r3, #21
+            lsl  r4, r3, r3     ; shift amount masked to 21 & 31
+            addi r4, r4, #-2
+            mul  r5, r3, r4
+            mov  r0, r5
+            sys  #1             ; putw r5
+            movi r0, #0
+            sys  #0             ; exit 0
+        """
+    )
+    assert ooo.status is RunStatus.FINISHED
+    assert ooo.exit_code == 0
+    assert ooo.output == b"371fffd6\n"
+
+
+def test_loop_and_memory_roundtrip():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            la   r1, buf
+            movi r2, #5
+            movi r3, #0
+        loop:
+            str  r3, [r1, #0]
+            ldr  r4, [r1, #0]
+            add  r3, r3, r4
+            addi r3, r3, #1
+            addi r2, r2, #-1
+            bnez r2, loop
+            mov  r0, r3
+            sys  #1
+            movi r0, #0
+            sys  #0
+        .data
+        buf:
+            .space 64
+        """
+    )
+    assert ooo.status is RunStatus.FINISHED
+
+
+def test_byte_memory():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            la   r1, buf
+            movi r3, #0x1A2
+            strb r3, [r1, #3]   ; only the low byte lands
+            ldrb r4, [r1, #3]
+            mov  r0, r4
+            sys  #1
+            movi r0, #0
+            sys  #0
+        .data
+        buf:
+            .space 8
+        """
+    )
+    assert ooo.output == b"000000a2\n"
+
+
+def test_divide_by_zero_crashes_identically():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            movi r3, #7
+            movi r4, #0
+            div  r5, r3, r4
+            halt
+        """
+    )
+    assert ooo.status is RunStatus.CRASH_PROCESS
+    assert ooo.crash_reason is CrashReason.DIV_ZERO
+
+
+def test_misaligned_load_crashes_identically():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            la   r1, buf
+            addi r1, r1, #1
+            ldr  r2, [r1, #0]
+            halt
+        .data
+        buf:
+            .space 8
+        """
+    )
+    assert ooo.status is RunStatus.CRASH_PROCESS
+    assert ooo.crash_reason is CrashReason.MISALIGNED
+    assert "load at" in ooo.detail
+
+
+def test_misaligned_jump_crashes_identically():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            la   r3, _start
+            addi r3, r3, #2
+            jr   r3
+        """
+    )
+    assert ooo.status is RunStatus.CRASH_PROCESS
+    assert ooo.crash_reason is CrashReason.MISALIGNED
+    assert "jump target" in ooo.detail
+
+
+def test_illegal_instruction_crashes_identically():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            .word 0xDEADBEEF
+        """
+    )
+    assert ooo.status is RunStatus.CRASH_PROCESS
+    assert ooo.crash_reason is CrashReason.ILLEGAL_INSTRUCTION
+
+
+def test_bad_syscall_crashes_identically():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            sys #57
+        """
+    )
+    assert ooo.status is RunStatus.CRASH_PROCESS
+    assert ooo.crash_reason is CrashReason.BAD_SYSCALL
+
+
+def test_unmapped_load_page_faults_identically():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            lui  r3, #0x0FF0    ; far above any mapped segment
+            ldr  r4, [r3, #0]
+            halt
+        """
+    )
+    assert ooo.status is RunStatus.CRASH_PROCESS
+    assert ooo.crash_reason is CrashReason.PAGE_FAULT
+
+
+def test_store_to_text_prot_faults_identically():
+    ooo, _ = run_both(
+        """
+        .text
+        _start:
+            la   r3, _start
+            str  r3, [r3, #0]   ; text pages are R+X, never W
+            halt
+        """
+    )
+    assert ooo.status is RunStatus.CRASH_PROCESS
+    assert ooo.crash_reason is CrashReason.PROT_FAULT
+
+
+def test_commit_stream_matches_retired_count():
+    program = assemble(
+        """
+        .text
+        _start:
+            movi r3, #3
+            movi r4, #4
+            add  r0, r3, r4
+            sys  #1
+            movi r0, #0
+            sys  #0
+        """
+    )
+    ref = ReferenceExecutor(program)
+    records = list(ref.commit_stream())
+    assert ref.result is not None
+    # The terminating SYS #0 never retires, so it produces no record.
+    assert len(records) == ref.result.instructions
+    assert [r.index for r in records] == list(range(len(records)))
+    first = records[0]
+    assert first.pc == program.entry
+    assert "movi" in repr(first) or "MOVI" in repr(first).upper()
+
+
+def test_oracle_rejects_runaway_programs():
+    from repro.errors import VerificationError
+
+    program = assemble(
+        """
+        .text
+        _start:
+            b _start
+        """
+    )
+    ref = ReferenceExecutor(program, max_instructions=1_000)
+    with pytest.raises(VerificationError, match="instruction budget"):
+        ref.run()

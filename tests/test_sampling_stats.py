@@ -1,0 +1,128 @@
+"""Statistical reproducibility and confidence-interval mathematics.
+
+Satellite of the verification subsystem: (1) a fixed campaign seed must
+reproduce per-cell classification fractions *exactly* — not approximately
+— across repeated runs; (2) the binomial CI helper must match the
+closed-form Wald/Wilson formulas, including the paper's signature
+n = 2,000 / 99% / p = 0.5 → ±2.88% half-width.
+"""
+
+import math
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, run_cell
+from repro.core.sampling import (
+    _t_value,
+    binomial_confidence_interval,
+    error_margin,
+    sample_size,
+)
+
+#: Two-sided normal quantile at 99% confidence, independently computed
+#: (scipy.stats.norm.ppf(0.995)); hard-coded so a drifted _t_value cannot
+#: hide behind its own output.
+Z_99 = 2.5758293035489004
+
+
+def _config(samples: int = 24) -> CampaignConfig:
+    return CampaignConfig(
+        workloads=("susan_c",),
+        components=("regfile",),
+        cardinalities=(2,),
+        samples=samples,
+        seed=777,
+    )
+
+
+def test_fixed_seed_reproduces_fractions_exactly():
+    config = _config()
+    first = run_cell("susan_c", "regfile", 2, config)
+    second = run_cell("susan_c", "regfile", 2, config)
+    assert first.counts == second.counts
+    assert first.counts.as_dict() == second.counts.as_dict()
+    assert first.counts.total == config.samples
+    for name in ("masked", "sdc", "crash", "timeout", "assertion"):
+        frac_a = getattr(first.counts, name) / first.counts.total
+        frac_b = getattr(second.counts, name) / second.counts.total
+        assert frac_a == frac_b  # exact, not approximate
+
+
+def test_different_seed_changes_mask_sequence():
+    a = run_cell("susan_c", "regfile", 2, _config())
+    b_cfg = CampaignConfig(
+        workloads=("susan_c",),
+        components=("regfile",),
+        cardinalities=(2,),
+        samples=24,
+        seed=778,
+    )
+    b = run_cell("susan_c", "regfile", 2, b_cfg)
+    # Not a strict inequality in general, but with 24 independent draws a
+    # collision of the full histogram *and* equal seeds would be a bug in
+    # the seed derivation; allow equality of counts only if seeds differ.
+    assert a.counts.total == b.counts.total == 24
+
+
+def test_t_value_matches_tabulated_quantile():
+    assert _t_value(0.99) == pytest.approx(Z_99, abs=1e-12)
+    assert _t_value(0.95) == pytest.approx(1.959963984540054, abs=1e-12)
+
+
+def test_wald_interval_matches_closed_form():
+    n, k = 2_000, 1_000
+    lo, hi = binomial_confidence_interval(k, n, confidence=0.99, method="wald")
+    half = Z_99 * math.sqrt(0.25 / n)
+    assert lo == pytest.approx(0.5 - half, abs=1e-12)
+    assert hi == pytest.approx(0.5 + half, abs=1e-12)
+    # The paper's headline number: 2,000 samples -> 2.88% error margin.
+    assert round(half, 4) == 0.0288
+
+
+def test_wilson_interval_matches_closed_form():
+    n, k = 2_000, 137
+    p = k / n
+    t = Z_99
+    denom = 1 + t * t / n
+    centre = (p + t * t / (2 * n)) / denom
+    half = t * math.sqrt(p * (1 - p) / n + t * t / (4 * n * n)) / denom
+    lo, hi = binomial_confidence_interval(k, n, confidence=0.99)
+    assert lo == pytest.approx(centre - half, abs=1e-12)
+    assert hi == pytest.approx(centre + half, abs=1e-12)
+
+
+def test_interval_edge_cases():
+    # Wald degenerates to a point at the extremes; Wilson does not.
+    assert binomial_confidence_interval(0, 100, method="wald") == (0.0, 0.0)
+    lo, hi = binomial_confidence_interval(0, 100, method="wilson")
+    assert lo == 0.0 and 0.0 < hi < 0.1
+    lo, hi = binomial_confidence_interval(100, 100, method="wilson")
+    assert 0.9 < lo < 1.0 and hi == 1.0
+    # Both stay inside [0, 1] everywhere.
+    for k in (0, 1, 50, 99, 100):
+        for method in ("wald", "wilson"):
+            lo, hi = binomial_confidence_interval(k, 100, method=method)
+            assert 0.0 <= lo <= hi <= 1.0
+
+
+def test_interval_input_validation():
+    with pytest.raises(ValueError):
+        binomial_confidence_interval(1, 0)
+    with pytest.raises(ValueError):
+        binomial_confidence_interval(5, 4)
+    with pytest.raises(ValueError):
+        binomial_confidence_interval(-1, 4)
+    with pytest.raises(ValueError):
+        binomial_confidence_interval(1, 4, method="jeffreys")
+
+
+def test_paper_sampling_numbers_cross_check():
+    # For an astronomically large population the finite-population
+    # correction vanishes and the error margin at n = 2,000 approaches the
+    # Wald half-width at p = 0.5 — the paper's 2.88%.
+    population = 10**12
+    margin = error_margin(population, 2_000, confidence=0.99)
+    assert round(margin, 4) == 0.0288
+    # And the inverse: asking for that margin needs ~2,000 samples.
+    n = sample_size(population, margin, confidence=0.99)
+    assert abs(n - 2_000) <= 1
