@@ -682,12 +682,17 @@ def run_campaign(
     resume: bool = True,
     jobs: int = 1,
     verify: bool = False,
+    backend: str = "multiprocessing",
+    policy=None,
 ) -> CampaignResult:
     """Run (or resume, via *store*) a full campaign.
 
-    ``jobs > 1`` shards the cell grid across a multiprocessing worker pool
+    ``jobs > 1`` shards the cell grid across an executor backend
     (see :mod:`repro.core.parallel`); cells are independently seeded, so
-    the merged result is byte-identical to the serial run.  *verify* turns
+    the merged result is byte-identical to the serial run.  *backend*
+    selects the worker transport and *policy* (a
+    :class:`~repro.core.executor.ResiliencePolicy`) tunes the fabric's
+    failure handling; both are ignored for serial runs.  *verify* turns
     on the oracle cross-checks of :func:`run_cell` for every cell; results
     stay byte-identical to a non-verify run.
     """
@@ -698,7 +703,7 @@ def run_campaign(
             config, jobs=jobs, progress=progress, store=store,
             core_cfg=core_cfg, supervisor=supervisor,
             checkpoint_every=checkpoint_every, resume=resume,
-            verify=verify,
+            verify=verify, backend=backend, policy=policy,
         )
     cells = config.cells()
     results: list[CellResult] = []
@@ -789,6 +794,8 @@ class CampaignStore:
             lines = self.journal_path.read_text().splitlines()
         except OSError:  # pragma: no cover - unreadable journal
             return
+        replayed: list[str] = []
+        torn = False
         for line in lines:
             if not line.strip():
                 continue
@@ -798,6 +805,7 @@ class CampaignStore:
             except (ValueError, KeyError, TypeError):
                 # Torn write: a kill landed mid-append.  Everything before
                 # this line is intact; nothing after it can be trusted.
+                torn = True
                 break
             if op == "cell":
                 self._data[record["key"]] = record["cell"]
@@ -807,6 +815,16 @@ class CampaignStore:
             elif op == "clear_partial":
                 self._partials.pop(record["key"], None)
             # Unknown ops from a future schema are ignored, not fatal.
+            replayed.append(line)
+        if torn:
+            # Drop the untrusted tail NOW (atomically), or the next append
+            # would be glued onto the torn fragment — one missing newline
+            # silently eating every record written after the restart.
+            tmp = self.journal_path.with_suffix(
+                self.journal_path.suffix + ".tmp"
+            )
+            tmp.write_text("".join(line + "\n" for line in replayed))
+            tmp.replace(self.journal_path)
 
     # -- mutation ----------------------------------------------------------
 

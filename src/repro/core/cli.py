@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
@@ -34,6 +35,8 @@ from repro.core.campaign import (
     golden_run,
     run_campaign,
 )
+from repro.core.chaos import SCENARIOS
+from repro.core.executor import BACKENDS, ResiliencePolicy
 from repro.core.generator import CLUSTERED, INDEPENDENT, ClusterShape
 from repro.core.supervisor import IncidentJournal, Supervisor
 from repro.errors import InjectionIncident
@@ -117,6 +120,24 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         "deterministically (byte-identical to --jobs 1; default 1)",
     )
     parser.add_argument(
+        "--backend", choices=sorted(BACKENDS), default="multiprocessing",
+        help="executor backend for --jobs: 'multiprocessing' (in-process "
+        "pool, default) or 'subprocess' (spawned workers over "
+        "length-prefixed pipes); results are byte-identical either way",
+    )
+    parser.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill-and-reschedule a worker whose heartbeats go silent for "
+        "this long (default 30; cells resume from their last streamed "
+        "checkpoint, bit-identically)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="quarantine a cell after N failed executions (worker crashes "
+        "or hangs) as a poison-cell incident instead of retrying forever "
+        "(default 3)",
+    )
+    parser.add_argument(
         "--telemetry", nargs="?", const="auto", default=None, metavar="PATH",
         help="collect campaign telemetry (metrics + trace spans) and write "
         "it to PATH (default: <store>.telemetry.json next to --store, else "
@@ -176,8 +197,44 @@ def _write_telemetry(telemetry, path: Path) -> None:
     )
 
 
+def _policy_from_args(args: argparse.Namespace) -> ResiliencePolicy | None:
+    """Resilience overrides, or ``None`` to take the policy defaults."""
+    overrides = {}
+    if getattr(args, "hang_timeout", None) is not None:
+        overrides["hang_timeout"] = args.hang_timeout
+    if getattr(args, "max_attempts", None) is not None:
+        overrides["max_attempts"] = args.max_attempts
+    return ResiliencePolicy(**overrides) if overrides else None
+
+
+#: Which signal interrupted the run — SIGINT unless the SIGTERM handler
+#: fired; the CLI exits 128+signum (130 for Ctrl-C, 143 for SIGTERM).
+_interrupt_signum = {"value": signal.SIGINT}
+
+
+def _install_graceful_signals() -> None:
+    """Make SIGTERM drain exactly like Ctrl-C.
+
+    Orchestrators (systemd, Kubernetes, CI timeouts) send SIGTERM; raising
+    ``KeyboardInterrupt`` routes it into the same graceful path — workers
+    stop at the next sample, final mid-cell checkpoints are flushed, and a
+    ``--resume`` continues bit-identically.
+    """
+    _interrupt_signum["value"] = signal.SIGINT
+
+    def handler(signum, frame) -> None:
+        _interrupt_signum["value"] = signum
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    _install_graceful_signals()
     store = CampaignStore(args.store) if args.store else None
     if store is not None and store.quarantined is not None:
         print(
@@ -221,6 +278,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             resume=args.resume,
             jobs=args.jobs,
             verify=args.verify,
+            backend=args.backend,
+            policy=_policy_from_args(args),
         )
     except InjectionIncident as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
@@ -230,8 +289,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             _write_telemetry(telemetry, telemetry_path)
         return 1
     except KeyboardInterrupt:
+        signum = _interrupt_signum["value"]
         print(
-            "campaign interrupted — mid-cell checkpoints flushed"
+            f"campaign interrupted ({signal.Signals(signum).name}) — "
+            "mid-cell checkpoints flushed"
             + (", rerun with --resume to continue bit-identically"
                if store is not None else ""),
             file=sys.stderr,
@@ -240,7 +301,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # Partial telemetry is still a valid summary of the work done
             # so far (metrics merge is prefix-closed).
             _write_telemetry(telemetry, telemetry_path)
-        return 130
+        return 128 + signum
     if supervisor.incident_count:
         where = journal.path if journal.path is not None else "in-memory only"
         print(
@@ -410,6 +471,49 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.chaos import run_chaos
+
+    config = CampaignConfig(
+        workloads=tuple(args.workloads) if args.workloads else ("crc32",),
+        components=tuple(args.components),
+        cardinalities=tuple(args.cardinalities),
+        samples=args.samples,
+        seed=args.seed,
+    )
+    # The harness's tight timings (speculation off so stalls exercise the
+    # escalation path), with any CLI overrides applied on top.
+    knobs = dict(
+        heartbeat_interval=0.1, hang_timeout=2.0, grace_period=1.0,
+        retry_base_delay=0.05, retry_max_delay=0.5, speculate=False,
+    )
+    if args.hang_timeout is not None:
+        knobs["hang_timeout"] = args.hang_timeout
+    if args.max_attempts is not None:
+        knobs["max_attempts"] = args.max_attempts
+    report = run_chaos(
+        config,
+        scenarios=tuple(args.scenarios) if args.scenarios else SCENARIOS,
+        jobs=args.jobs,
+        seed=args.chaos_seed,
+        workdir=args.workdir,
+        backend=args.backend,
+        policy=ResiliencePolicy(**knobs),
+        progress=lambda scenario: print(
+            f"chaos: running scenario {scenario!r} ...", file=sys.stderr
+        ),
+    )
+    for outcome in report.outcomes:
+        status = "ok" if outcome.ok else "FAIL"
+        print(f"[{status}] {outcome.scenario:7s} {outcome.detail}")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.as_dict(), indent=1, sort_keys=True)
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-campaign",
@@ -497,6 +601,48 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_golden.add_argument("--workloads", nargs="*", default=None)
     p_golden.set_defaults(func=_cmd_golden)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the deterministic chaos matrix against the parallel "
+        "executor and verify byte-identity to a serial run",
+    )
+    p_chaos.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="workload subset for the chaos campaign (default: crc32)",
+    )
+    p_chaos.add_argument(
+        "--components", nargs="*", default=["regfile", "itlb"],
+        choices=list(COMPONENT_NAMES),
+    )
+    p_chaos.add_argument("--cardinalities", nargs="*", type=int, default=[1, 2])
+    p_chaos.add_argument("--samples", type=int, default=4)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--scenarios", nargs="*", default=None, choices=list(SCENARIOS),
+        metavar="NAME",
+        help=f"scenario subset (default: the full matrix {SCENARIOS})",
+    )
+    p_chaos.add_argument("--jobs", type=int, default=2, metavar="N")
+    p_chaos.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed of the fault plan (same seed → same chaos)",
+    )
+    p_chaos.add_argument(
+        "--backend", choices=sorted(BACKENDS), default="multiprocessing",
+    )
+    p_chaos.add_argument(
+        "--workdir", type=Path, required=True, metavar="DIR",
+        help="scratch directory for per-scenario stores, chaos flag files "
+        "and incident journals",
+    )
+    p_chaos.add_argument("--hang-timeout", type=float, default=None)
+    p_chaos.add_argument("--max-attempts", type=int, default=None)
+    p_chaos.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write the machine-readable chaos report as JSON",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_fuzz = sub.add_parser(
         "fuzz",

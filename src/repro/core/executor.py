@@ -1,0 +1,759 @@
+"""Pluggable executor backends for the parallel campaign scheduler.
+
+:mod:`repro.core.parallel` used to hard-wire one multiprocessing pool;
+this module extracts the seam between *scheduling* (which cell runs
+where, retries, quarantine — the parent's job) and *execution* (how a
+worker process is spawned and spoken to — the backend's job), the same
+dispatch abstraction DAVOS uses to run one campaign on either a
+multicore PC or an SGE grid.
+
+Two backends ship today:
+
+* :class:`MultiprocessingBackend` — the original in-process
+  ``multiprocessing`` pool (fork when available, spawn otherwise),
+  talking over context queues.  Cheapest start-up, shares the parent's
+  warm caches over fork.
+* :class:`SubprocessBackend` — fully spawned ``subprocess`` workers
+  speaking **length-prefixed messages over pipes** (4-byte big-endian
+  length + pickled tuple).  Nothing is shared with the parent but the
+  byte stream, which is exactly the discipline a future multi-host
+  (SSH/container/socket) backend needs — this backend exists to prove
+  that seam and to keep it honest via the backend-conformance tests.
+
+Both backends run the same :func:`worker_loop`; a worker is defined by
+the messages it exchanges, not by how its process was made:
+
+parent → worker   ``batch`` (list of :class:`CellTask`), ``None``
+                  (shutdown), soft-cancel (per-worker stop flag)
+worker → parent   ``("ready", wid)`` · ``("start", wid, index, golden)``
+                  · ``("heartbeat", wid, index, ordinal)`` ·
+                  ``("partial", wid, index, key, state)`` ·
+                  ``("cell", wid, index, data)`` ·
+                  ``("telemetry", wid, index|None, delta, events)`` ·
+                  ``("incident", wid, data)`` ·
+                  ``("fatal", wid, index, type, detail)`` ·
+                  ``("stopped", wid)`` · ``("bye", wid)``
+
+Heartbeats piggyback on the per-sample stop probe, so a worker that
+stops heartbeating has by definition stopped making sample progress —
+the scheduler's hang detector needs no second channel.  The
+:class:`ResiliencePolicy` dataclass holds every tunable of the
+resilience protocol layered on top (see DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import signal
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback as traceback_module
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import obs
+from repro.obs.metrics import subtract_snapshot
+
+from repro.core.campaign import (
+    CampaignConfig,
+    CellCheckpoint,
+    golden_run,
+    run_cell,
+)
+from repro.core.chaos import ChaosSpec
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.errors import CampaignInterrupted, InjectionIncident
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One cell's marching orders, parent → worker."""
+
+    index: int  # position in config.cells() — the merge key
+    workload: str
+    component: str
+    cardinality: int
+    cell_key: str
+    partial: dict | None  # serialised CellCheckpoint to resume from
+    attempt: int = 0  # 0 on first dispatch; >0 on retries
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Every tunable of the executor fabric's failure handling.
+
+    Deadlines are derived, not configured: the scheduler calibrates a
+    golden-cycles-per-wall-second rate from completed cells and allows
+    each in-flight cell ``deadline_factor`` times its predicted wall
+    time (never less than ``deadline_floor`` seconds).  Until the first
+    cell completes there is no rate and no deadline — heartbeat silence
+    (``hang_timeout``) is the primary hang signal throughout.
+    """
+
+    heartbeat_interval: float = 0.5
+    hang_timeout: float = 30.0
+    grace_period: float = 5.0
+    max_attempts: int = 3
+    retry_base_delay: float = 0.25
+    retry_max_delay: float = 30.0
+    retry_jitter: float = 0.25
+    deadline_factor: float = 8.0
+    deadline_floor: float = 10.0
+    straggler_factor: float = 3.0
+    speculate: bool = True
+    restarts_per_worker: int = 2
+    degrade_to_serial: bool = True
+
+    def backoff(self, cell_key: str, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter.
+
+        The jitter fraction is drawn from a hash of (cell key, attempt),
+        so two schedulers retrying the same cell spread out identically —
+        reproducible schedules, no thundering herd.
+        """
+        base = min(
+            self.retry_max_delay,
+            self.retry_base_delay * (2 ** max(0, attempt - 1)),
+        )
+        digest = hashlib.sha256(f"{cell_key}:{attempt}".encode()).digest()
+        return base * (1.0 + self.retry_jitter * digest[0] / 255.0)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to run cell batches, picklable."""
+
+    config: CampaignConfig
+    core_cfg: CoreConfig
+    supervised: bool
+    strict: bool
+    watchdog: bool
+    checkpoint_every: int | None
+    telemetry_enabled: bool
+    verify: bool
+    heartbeat_interval: float = 0.5
+    chaos: ChaosSpec | None = None
+
+
+# ---------------------------------------------------------------------------
+# The shared worker loop (backend-independent)
+# ---------------------------------------------------------------------------
+
+
+class _SendJournal:
+    """Worker-side incident journal: forwards every record to the parent."""
+
+    def __init__(self, send: Callable, worker_id: int) -> None:
+        self._send = send
+        self._worker_id = worker_id
+        self.incidents: list = []  # Supervisor reads len() nowhere, kept for shape
+
+    def append(self, incident) -> None:
+        self._send(("incident", self._worker_id, incident.as_dict()))
+
+
+class _SendStore:
+    """Worker-side store proxy: resume data in, checkpoints out.
+
+    Duck-types the two methods :func:`~repro.core.campaign.run_cell`
+    uses.  ``get_partial`` serves the checkpoint the parent attached to
+    the task; ``put_partial`` streams new checkpoints to the parent, the
+    single real-store writer.
+    """
+
+    def __init__(self, send: Callable, worker_id: int, task: CellTask) -> None:
+        self._send = send
+        self._worker_id = worker_id
+        self._task = task
+
+    def get_partial(self, key: str) -> CellCheckpoint | None:
+        if self._task.partial is None or key != self._task.cell_key:
+            return None
+        try:
+            return CellCheckpoint.from_dict(self._task.partial)
+        except (KeyError, ValueError, TypeError):  # pragma: no cover
+            return None
+
+    def put_partial(self, key: str, checkpoint: CellCheckpoint) -> None:
+        self._send(
+            ("partial", self._worker_id, self._task.index, key,
+             checkpoint.as_dict())
+        )
+
+
+class _TelemetryShipper:
+    """Worker-side telemetry outbox: per-cell metric deltas + trace events.
+
+    After every finished cell the worker snapshots its local registry,
+    ships the delta since the previous snapshot (tagged with the cell's
+    canonical index, so the parent can merge in canonical cell order) and
+    drains its trace buffer into the same message.  Worker-scoped
+    activity between cells ships with ``index=None`` at batch boundaries
+    and shutdown.
+    """
+
+    def __init__(self, send: Callable, worker_id: int, telemetry) -> None:
+        self._send = send
+        self._worker_id = worker_id
+        self._telemetry = telemetry
+        self._base = (
+            telemetry.metrics.as_dict() if telemetry is not None else None
+        )
+
+    def ship(self, index: int | None = None) -> None:
+        if self._telemetry is None:
+            return
+        snapshot = self._telemetry.metrics.as_dict()
+        delta = subtract_snapshot(snapshot, self._base)
+        self._base = snapshot
+        events = self._telemetry.tracer.drain()
+        if index is None and not events and not any(
+            delta[kind] for kind in ("counters", "histograms")
+        ):
+            return
+        self._send(("telemetry", self._worker_id, index, delta, events))
+
+
+def _make_probe(
+    task: CellTask,
+    spec: WorkerSpec,
+    send: Callable,
+    worker_id: int,
+    stop_flag: Callable[[], bool],
+) -> Callable[[], bool]:
+    """The per-sample stop probe: chaos hook + heartbeat + stop check.
+
+    Probed once before every sample by :func:`run_cell`; *ordinal*
+    counts probes within this dispatch (it restarts at 0 when a
+    rescheduled cell resumes from a checkpoint).  Chaos events fire
+    before the heartbeat, so an ordinal-0 kill dies as silently as a
+    real startup segfault.
+    """
+    state = {"ordinal": -1, "beat": time.monotonic()}
+    chaos = spec.chaos
+
+    def probe() -> bool:
+        state["ordinal"] += 1
+        if chaos is not None:
+            chaos.worker_event(
+                task.workload, task.component, task.cardinality,
+                state["ordinal"],
+            )
+        now = time.monotonic()
+        if now - state["beat"] >= spec.heartbeat_interval:
+            send(("heartbeat", worker_id, task.index, state["ordinal"]))
+            state["beat"] = now
+        return stop_flag()
+
+    return probe
+
+
+def worker_loop(
+    worker_id: int,
+    spec: WorkerSpec,
+    recv_batch: Callable[[float], object],
+    send: Callable[[tuple], None],
+    stop_flag: Callable[[], bool],
+) -> None:
+    """Backend-independent worker body: batches in, messages out.
+
+    *recv_batch* blocks up to its timeout and raises ``queue.Empty`` on
+    expiry; it returns a list of :class:`CellTask` or ``None`` for
+    shutdown.  *stop_flag* is the soft-cancel probe — polled between
+    samples, so a cancelled worker flushes one final mid-cell checkpoint
+    before exiting.  SIGINT/SIGTERM are ignored here: shutdown is the
+    parent's job, delivered through the stop flag (the scheduler
+    escalates to SIGKILL when a worker ignores that too).
+    """
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    # Fresh per-worker telemetry: anything inherited over fork belongs to
+    # the parent and must not be double-reported from here.
+    obs.disable()
+    tel = obs.enable() if spec.telemetry_enabled else None
+    shipper = _TelemetryShipper(send, worker_id, tel)
+    supervisor = None
+    if spec.supervised:
+        from repro.core.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            journal=_SendJournal(send, worker_id),
+            max_incidents=None,  # the parent enforces the global budget
+            strict=spec.strict,
+            watchdog=spec.watchdog,
+        )
+    send(("ready", worker_id))
+    while True:
+        wait_begin = time.perf_counter() if tel is not None else 0.0
+        try:
+            batch = recv_batch(60.0)
+        except queue_module.Empty:
+            if stop_flag():  # pragma: no cover - parent gave up
+                return
+            continue  # pragma: no cover - parent merely busy
+        if tel is not None:
+            tel.metrics.histogram("time.worker.task_wait").observe(
+                time.perf_counter() - wait_begin
+            )
+        if batch is None:
+            shipper.ship()
+            send(("bye", worker_id))
+            return
+        with obs.span("worker-batch", worker=worker_id, cells=len(batch)):
+            for task in batch:
+                if stop_flag():
+                    shipper.ship()
+                    send(("stopped", worker_id))
+                    return
+                # Golden cycles are the deadline currency: computed (or
+                # cache-served) before the cell so the parent can bound
+                # its wall clock from the very first heartbeat.
+                try:
+                    golden_cycles = golden_run(
+                        get_workload(task.workload), spec.core_cfg
+                    ).cycles
+                except Exception as exc:  # noqa: BLE001 - surface, don't hang
+                    shipper.ship()
+                    send(("fatal", worker_id, task.index,
+                          type(exc).__name__,
+                          f"{exc}\n{traceback_module.format_exc()}"))
+                    return
+                send(("start", worker_id, task.index, golden_cycles))
+                probe = _make_probe(task, spec, send, worker_id, stop_flag)
+                store_proxy = _SendStore(send, worker_id, task)
+                try:
+                    cell = run_cell(
+                        task.workload, task.component, task.cardinality,
+                        spec.config, spec.core_cfg,
+                        supervisor=supervisor,
+                        store=store_proxy, cell_key=task.cell_key,
+                        checkpoint_every=spec.checkpoint_every, resume=True,
+                        stop=probe,
+                        verify=spec.verify,
+                    )
+                except CampaignInterrupted:
+                    shipper.ship()
+                    send(("stopped", worker_id))
+                    return
+                except InjectionIncident as exc:
+                    # --strict escalation: the incident itself was already
+                    # forwarded by the send journal; tell the parent to
+                    # abort.
+                    shipper.ship()
+                    send(("fatal", worker_id, task.index,
+                          type(exc).__name__, str(exc)))
+                    return
+                except Exception as exc:  # noqa: BLE001 - must not hang the pool
+                    shipper.ship()
+                    send(("fatal", worker_id, task.index, type(exc).__name__,
+                          f"{exc}\n{traceback_module.format_exc()}"))
+                    return
+                # Telemetry first, completion second: messages from one
+                # worker arrive in order, so the parent still holds the
+                # cell as pending when its metric delta arrives.
+                shipper.ship(task.index)
+                send(("cell", worker_id, task.index, cell.as_dict()))
+        shipper.ship()
+        send(("ready", worker_id))
+
+
+# ---------------------------------------------------------------------------
+# Backend interface
+# ---------------------------------------------------------------------------
+
+
+class WorkerHandle:
+    """Parent-side view of one worker, whatever its transport."""
+
+    worker_id: int
+
+    def send(self, batch: list[CellTask] | None) -> None:
+        """Dispatch a task batch (or ``None`` = shut down politely)."""
+        raise NotImplementedError
+
+    def soft_cancel(self) -> None:
+        """Ask the worker to stop at the next sample boundary."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Terminate the worker immediately (SIGKILL-hard)."""
+        raise NotImplementedError
+
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def exitcode(self) -> int | None:
+        raise NotImplementedError
+
+    def pid(self) -> int | None:
+        raise NotImplementedError
+
+    def join(self, timeout: float) -> None:
+        raise NotImplementedError
+
+
+class ExecutorBackend:
+    """Spawns workers and multiplexes their message streams.
+
+    The scheduler sees exactly this surface: ``spawn()`` a worker,
+    ``recv()`` the next message from any worker (``None`` on timeout),
+    ``close()`` when done.  Everything else — transport, serialisation,
+    process lifecycle — is the backend's private business, which is what
+    lets a multi-host backend slot in without touching the scheduler.
+    """
+
+    name: str = "abstract"
+
+    def spawn(self) -> WorkerHandle:
+        raise NotImplementedError
+
+    def recv(self, timeout: float) -> tuple | None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing backend (queues, fork/spawn)
+# ---------------------------------------------------------------------------
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform offers it (cheap, inherits warm caches);
+    spawn otherwise.  Determinism is identical either way — workers
+    re-derive everything from the cell seed."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _mp_worker_main(
+    worker_id: int, spec: WorkerSpec, task_queue, result_queue, stop_event
+) -> None:
+    worker_loop(
+        worker_id, spec,
+        recv_batch=lambda timeout: task_queue.get(timeout=timeout),
+        send=result_queue.put,
+        stop_flag=stop_event.is_set,
+    )
+
+
+class _MpHandle(WorkerHandle):
+    def __init__(self, worker_id, proc, task_queue, stop_event) -> None:
+        self.worker_id = worker_id
+        self._proc = proc
+        self._task_queue = task_queue
+        self._stop_event = stop_event
+
+    def send(self, batch) -> None:
+        try:
+            self._task_queue.put(batch)
+        except (ValueError, OSError):  # pragma: no cover - queue torn down
+            pass
+
+    def soft_cancel(self) -> None:
+        self._stop_event.set()
+
+    def kill(self) -> None:
+        if self._proc.is_alive():
+            self._proc.kill()
+
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def exitcode(self) -> int | None:
+        return self._proc.exitcode
+
+    def pid(self) -> int | None:
+        return self._proc.pid
+
+    def join(self, timeout: float) -> None:
+        self._proc.join(timeout=timeout)
+
+
+class MultiprocessingBackend(ExecutorBackend):
+    """The original in-process pool, behind the backend seam.
+
+    One shared result queue, one task queue and one stop event per
+    worker — the per-worker stop event is what makes targeted
+    soft-cancel (hang escalation, straggler cancellation) possible where
+    the old single shared event could only stop the world.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.ctx = _context()
+        self.result_queue = self.ctx.Queue()
+        self._next_id = 0
+
+    def spawn(self) -> _MpHandle:
+        worker_id = self._next_id
+        self._next_id += 1
+        task_queue = self.ctx.Queue()
+        stop_event = self.ctx.Event()
+        proc = self.ctx.Process(
+            target=_mp_worker_main,
+            args=(worker_id, self.spec, task_queue, self.result_queue,
+                  stop_event),
+            daemon=True,
+        )
+        proc.start()
+        return _MpHandle(worker_id, proc, task_queue, stop_event)
+
+    def recv(self, timeout: float) -> tuple | None:
+        try:
+            return self.result_queue.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def close(self) -> None:
+        self.result_queue.close()
+        self.result_queue.join_thread()
+
+
+# ---------------------------------------------------------------------------
+# Subprocess backend (length-prefixed frames over pipes)
+# ---------------------------------------------------------------------------
+
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frame lengths: a desynchronised stream would otherwise
+#: ask for gigabytes.  Checkpoints and telemetry deltas are << 16 MB.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def _read_exact(stream, count: int) -> bytes | None:
+    """Read exactly *count* bytes; ``None`` on EOF (clean or torn)."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream) -> object | None:
+    """One length-prefixed pickled message; ``None`` on EOF/torn frame."""
+    header = _read_exact(stream, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        return None
+    payload = _read_exact(stream, length)
+    if payload is None:
+        return None
+    try:
+        return pickle.loads(payload)
+    except Exception:  # noqa: BLE001 - a torn pickle is EOF, not a crash
+        return None
+
+
+def write_frame(stream, message: object) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_FRAME_HEADER.pack(len(payload)) + payload)
+    stream.flush()
+
+
+class _SubprocessHandle(WorkerHandle):
+    def __init__(self, worker_id: int, proc, reader: threading.Thread) -> None:
+        self.worker_id = worker_id
+        self._proc = proc
+        self._reader = reader
+        self._stdin_lock = threading.Lock()
+
+    def _write(self, message) -> None:
+        try:
+            with self._stdin_lock:
+                write_frame(self._proc.stdin, message)
+        except (BrokenPipeError, ValueError, OSError):
+            pass  # worker died; the scheduler's liveness poll handles it
+
+    def send(self, batch) -> None:
+        self._write(("task", batch))
+
+    def soft_cancel(self) -> None:
+        self._write(("stop",))
+
+    def kill(self) -> None:
+        if self._proc.poll() is None:
+            self._proc.kill()
+
+    def alive(self) -> bool:
+        return self._proc.poll() is None
+
+    def exitcode(self) -> int | None:
+        code = self._proc.poll()
+        # Match multiprocessing's convention: death by signal N → -N.
+        return code
+
+    def pid(self) -> int | None:
+        return self._proc.pid
+
+    def join(self, timeout: float) -> None:
+        try:
+            self._proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            pass
+
+
+class SubprocessBackend(ExecutorBackend):
+    """Spawned workers speaking length-prefixed frames over pipes.
+
+    Each worker is a fresh ``python -m repro.core.executor`` process; the
+    parent writes ``("task", batch)`` / ``("stop",)`` frames to its
+    stdin and a per-worker reader thread funnels its stdout frames into
+    one inbox queue.  No shared memory, no inherited state, no
+    multiprocessing machinery — only bytes over a pipe, which is the
+    exact contract a socket to another host would satisfy.
+    """
+
+    name = "subprocess"
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.inbox: queue_module.Queue = queue_module.Queue()
+        self._next_id = 0
+        self._procs: list = []
+
+    def spawn(self) -> _SubprocessHandle:
+        worker_id = self._next_id
+        self._next_id += 1
+        env = dict(os.environ)
+        package_root = str(
+            __import__("pathlib").Path(__file__).resolve().parents[2]
+        )
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.core.executor"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=None,
+            env=env,
+        )
+        self._procs.append(proc)
+        write_frame(proc.stdin, ("hello", worker_id, self.spec))
+
+        def pump() -> None:
+            while True:
+                message = read_frame(proc.stdout)
+                if message is None:
+                    return
+                self.inbox.put(message)
+
+        reader = threading.Thread(
+            target=pump, name=f"repro-worker-{worker_id}-reader", daemon=True
+        )
+        reader.start()
+        return _SubprocessHandle(worker_id, proc, reader)
+
+    def recv(self, timeout: float) -> tuple | None:
+        try:
+            return self.inbox.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def close(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:  # pragma: no cover - scheduler joined them
+                proc.kill()
+            for stream in (proc.stdin, proc.stdout):
+                try:
+                    stream.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+
+def _subprocess_worker_main() -> int:
+    """Entry point of one spawned worker (``python -m repro.core.executor``).
+
+    stdin carries frames in (hello, then task/stop), stdout carries
+    frames out; anything that would have printed to stdout is rerouted
+    to stderr so stray prints cannot corrupt the frame stream.
+    """
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    sys.stdout = sys.stderr
+    hello = read_frame(stdin)
+    if not (isinstance(hello, tuple) and hello and hello[0] == "hello"):
+        return 2
+    _, worker_id, spec = hello
+    stop_event = threading.Event()
+    tasks: queue_module.Queue = queue_module.Queue()
+
+    def reader() -> None:
+        while True:
+            message = read_frame(stdin)
+            if message is None:  # parent died or closed stdin: wind down
+                stop_event.set()
+                tasks.put(None)
+                return
+            if message[0] == "stop":
+                stop_event.set()
+            elif message[0] == "task":
+                tasks.put(message[1])
+
+    threading.Thread(target=reader, daemon=True).start()
+    write_lock = threading.Lock()
+
+    def send(message: tuple) -> None:
+        try:
+            with write_lock:
+                write_frame(stdout, message)
+        except (BrokenPipeError, ValueError, OSError):
+            # The parent is gone; nothing left to report to.
+            os._exit(0)
+
+    worker_loop(
+        worker_id, spec,
+        recv_batch=lambda timeout: tasks.get(timeout=timeout),
+        send=send,
+        stop_flag=stop_event.is_set,
+    )
+    # Skip interpreter finalization: the reader thread may be blocked in
+    # stdin.buffer and would deadlock buffered-IO teardown.
+    try:
+        stdout.flush()
+    except (ValueError, OSError):
+        pass
+    os._exit(0)
+    return 0  # pragma: no cover - unreachable
+
+
+#: Backend registry — the extension point a multi-host backend registers
+#: into.  Names are what ``--backend`` accepts.
+BACKENDS: dict[str, type[ExecutorBackend]] = {
+    MultiprocessingBackend.name: MultiprocessingBackend,
+    SubprocessBackend.name: SubprocessBackend,
+}
+
+
+def create_backend(name: str, spec: WorkerSpec) -> ExecutorBackend:
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {name!r} "
+            f"(available: {', '.join(sorted(BACKENDS))})"
+        ) from None
+    return backend_cls(spec)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(_subprocess_worker_main())

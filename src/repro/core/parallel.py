@@ -1,4 +1,4 @@
-"""Parallel campaign execution: multi-core cell scheduler, deterministic merge.
+"""Parallel campaign execution: resilient cell scheduler, deterministic merge.
 
 The campaign grid (15 workloads × 6 components × 3 cardinalities in the
 paper's setup) is embarrassingly parallel at cell granularity: every cell
@@ -8,64 +8,66 @@ depends on any other cell's execution, and a parallel run is bit-identical
 to the serial one *by construction* — the scheduler only has to merge
 results back into the canonical ``config.cells()`` order.
 
-Architecture (one parent, N workers):
+Architecture (one parent, N workers behind a pluggable backend):
 
+* **Pluggable execution backends.**  The scheduler speaks to workers only
+  through the :class:`~repro.core.executor.ExecutorBackend` seam — the
+  in-process multiprocessing pool and the spawned-subprocess backend
+  (length-prefixed frames over pipes) are interchangeable, and a
+  multi-host backend plugs into the same two methods (``spawn``/``recv``).
 * **Sharding with workload affinity.**  Cells are grouped by workload and
   groups are handed to workers whole, so a worker builds the expensive
   :class:`~repro.core.campaign.CheckpointedWorkload` snapshot set once per
-  workload instead of once per cell.  When there are fewer workloads than
-  workers, the largest groups are split (the halves still share a
-  workload, and each worker's golden/checkpoint caches stay warm).
+  workload instead of once per cell.
 * **Single-writer store.**  Workers never touch the
   :class:`~repro.core.campaign.CampaignStore`; they stream ``CellResult``s
-  and mid-cell checkpoints over a result queue to the parent, which is the
-  only process appending to the store journal and the incident journal —
-  the crash-safety invariants of the store (one writer, line-atomic
-  appends, atomic compaction) survive parallelism untouched.
-* **Incident forwarding.**  Each worker wraps injections in its own
-  :class:`~repro.core.supervisor.Supervisor` whose journal is a queue
-  proxy; the parent appends forwarded incidents to the real journal and
-  enforces the *global* ``max_incidents`` budget and ``--strict``.
-* **Worker-crash containment.**  A worker that dies outright (segfault,
-  OOM-kill, ...) becomes a journalled incident of kind ``worker-crash``;
-  its unfinished cells are rescheduled (resuming from the last streamed
-  checkpoint, so no samples are lost and the result is still
-  bit-identical) and a replacement worker is spawned.  Crash incidents
-  count against ``max_incidents``/``strict`` but not against the
-  result's lost-sample ``incidents`` field — a rescheduled cell completes
-  with every sample intact.
-* **Telemetry streaming.**  When the parent has :mod:`repro.obs`
-  telemetry enabled, each worker runs a fresh process-local registry and
-  tracer, ships a per-cell metric delta plus drained trace events after
-  every completed cell (and worker-scoped deltas at batch boundaries),
-  and the parent merges the deltas in canonical cell order — the merged
-  ``sim.*`` counters equal the serial run's exactly.
-* **Graceful Ctrl-C.**  On ``KeyboardInterrupt`` the parent sets a stop
-  event; workers finish their current sample, flush one final mid-cell
-  checkpoint through the queue, and exit.  The parent drains the queue,
-  persists every checkpoint, compacts the store and re-raises — rerunning
-  with ``--resume`` continues bit-identically.
+  and mid-cell checkpoints to the parent, which is the only process
+  appending to the store journal and the incident journal.
+* **Heartbeats and derived deadlines.**  Workers heartbeat from the
+  per-sample stop probe; a worker with in-flight cells that goes silent
+  past the policy's hang timeout — or blows through a per-cell wall-clock
+  deadline derived from golden-run cycle counts — is escalated:
+  soft-cancel (stop at the next sample, flush a final checkpoint), then
+  kill after a grace period of continued silence, then reschedule from
+  the last streamed checkpoint.
+* **Bounded retry with backoff.**  Every reschedule (crash, hang, lost
+  result) is journalled as a structured ``retry`` incident — attempt
+  number, backoff delay, cause — and re-dispatched after an exponential
+  backoff with deterministic jitter.  A cell that fails
+  ``max_attempts`` times is **quarantined** as a ``poison-cell``
+  incident: its last streamed checkpoint becomes its (short) result, the
+  missing samples count as lost, and the campaign survives — aborting
+  only under ``--strict``/``--max-incidents``.
+* **Straggler speculation.**  When workers idle and one in-flight cell
+  exceeds a multiple of the observed mean cell time, an idle worker
+  re-executes it from the same checkpoint; the first completion wins and
+  duplicates are discarded before the merge (cells are deterministic, so
+  either copy carries the same bytes).
+* **Graceful degradation.**  Worker deaths beyond the restart budget stop
+  the respawning: the pool shrinks, and when it reaches zero the parent
+  finishes the remaining (non-quarantined) cells serially in-process —
+  a failing backend degrades a campaign's speed, never its answer.
+* **Incident forwarding, telemetry streaming, ordered progress, graceful
+  Ctrl-C/SIGTERM** — unchanged from the original engine: the parent
+  enforces the global ``--max-incidents``/``--strict`` budget, merges
+  per-cell metric deltas in canonical order, fires the progress callback
+  in canonical order, and on SIGINT/SIGTERM drains final checkpoints so
+  ``--resume`` continues bit-identically.
 
-Ordering: the progress callback fires in canonical cell order (the parent
-buffers out-of-order completions), so ``--jobs N`` produces the same
-progress sequence — and the same ``CampaignResult.to_json()`` bytes — as
-the serial path.
+The deterministic chaos harness (:mod:`repro.core.chaos`,
+``repro-campaign chaos``) injects worker kills, stalls, dropped and
+duplicated queue messages and torn checkpoint writes into this fabric
+and asserts the byte-identical-to-serial guarantee survives all of it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import queue as queue_module
-import signal
+import heapq
 import time
-import traceback as traceback_module
-from dataclasses import dataclass
+from collections import deque
 from pathlib import Path
-from typing import Callable
 
 from repro import obs
-from repro.obs.metrics import subtract_snapshot
 
 from repro.core.campaign import (
     DEFAULT_CHECKPOINT_EVERY,
@@ -75,7 +77,18 @@ from repro.core.campaign import (
     CellCheckpoint,
     CellResult,
     ProgressFn,
+    golden_run,
     run_cell,
+)
+from repro.core.avf import ClassCounts
+from repro.core.chaos import ChaosEvent, ChaosSpec
+from repro.core.executor import (
+    CellTask,
+    ExecutorBackend,
+    ResiliencePolicy,
+    WorkerHandle,
+    WorkerSpec,
+    create_backend,
 )
 from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
 from repro.errors import (
@@ -84,239 +97,30 @@ from repro.errors import (
     InjectionIncident,
     WorkerCrash,
 )
+from repro.workloads import get_workload
 
-#: How long the parent waits on the result queue before polling worker
-#: liveness.  Small enough that a crashed worker is noticed promptly,
-#: large enough not to busy-wait.
+#: How long the parent waits on the backend before running its liveness /
+#: escalation / retry tick.  Small enough that a crashed worker is noticed
+#: promptly, large enough not to busy-wait.
 _POLL_INTERVAL = 0.1
 
-#: Replacement workers spawned after crashes, per original worker slot.
-#: A deterministic crash (same cell kills every worker that touches it)
-#: must converge to an error instead of respawning forever.
-_RESTARTS_PER_WORKER = 2
+#: Kept for backward compatibility: tests and callers imported the task
+#: type under its old private name.
+_CellTask = CellTask
+
+#: Replacement workers spawned after deaths, per original worker slot
+#: (see :class:`~repro.core.executor.ResiliencePolicy.restarts_per_worker`).
+_RESTARTS_PER_WORKER = ResiliencePolicy().restarts_per_worker
 
 
-def _context() -> multiprocessing.context.BaseContext:
-    """Fork when the platform offers it (cheap, inherits warm caches);
-    spawn otherwise.  Determinism is identical either way — workers
-    re-derive everything from the cell seed."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-@dataclass(frozen=True)
-class _CellTask:
-    """One cell's marching orders, parent → worker."""
-
-    index: int  # position in config.cells() — the merge key
-    workload: str
-    component: str
-    cardinality: int
-    cell_key: str
-    partial: dict | None  # serialised CellCheckpoint to resume from
-
-
-class _QueueJournal:
-    """Worker-side incident journal: forwards every record to the parent."""
-
-    def __init__(self, result_queue, worker_id: int) -> None:
-        self._queue = result_queue
-        self._worker_id = worker_id
-        self.incidents: list = []  # Supervisor reads len() nowhere, kept for shape
-
-    def append(self, incident) -> None:
-        self._queue.put(("incident", self._worker_id, incident.as_dict()))
-
-
-class _QueueStore:
-    """Worker-side store proxy: resume data in, checkpoints out.
-
-    Duck-types the two methods :func:`run_cell` uses.  ``get_partial``
-    serves the checkpoint the parent attached to the task; ``put_partial``
-    streams new checkpoints to the parent, the single real-store writer.
-    """
-
-    def __init__(self, result_queue, worker_id: int, task: _CellTask) -> None:
-        self._queue = result_queue
-        self._worker_id = worker_id
-        self._task = task
-
-    def get_partial(self, key: str) -> CellCheckpoint | None:
-        if self._task.partial is None or key != self._task.cell_key:
-            return None
-        try:
-            return CellCheckpoint.from_dict(self._task.partial)
-        except (KeyError, ValueError, TypeError):  # pragma: no cover
-            return None
-
-    def put_partial(self, key: str, checkpoint: CellCheckpoint) -> None:
-        self._queue.put(
-            ("partial", self._worker_id, self._task.index, key,
-             checkpoint.as_dict())
-        )
-
-
-class _TelemetryShipper:
-    """Worker-side telemetry outbox: per-cell metric deltas + trace events.
-
-    After every finished cell the worker snapshots its local registry,
-    ships the delta since the previous snapshot (tagged with the cell's
-    canonical index, so the parent can merge in canonical cell order) and
-    drains its trace buffer into the same queue message.  Worker-scoped
-    activity between cells (task-queue waits, batch spans) ships with
-    ``index=None`` at batch boundaries and shutdown.
-    """
-
-    def __init__(self, result_queue, worker_id: int, telemetry) -> None:
-        self._queue = result_queue
-        self._worker_id = worker_id
-        self._telemetry = telemetry
-        self._base = (
-            telemetry.metrics.as_dict() if telemetry is not None else None
-        )
-
-    def ship(self, index: int | None = None) -> None:
-        if self._telemetry is None:
-            return
-        snapshot = self._telemetry.metrics.as_dict()
-        delta = subtract_snapshot(snapshot, self._base)
-        self._base = snapshot
-        events = self._telemetry.tracer.drain()
-        if index is None and not events and not any(
-            delta[kind] for kind in ("counters", "histograms")
-        ):
-            return
-        self._queue.put(
-            ("telemetry", self._worker_id, index, delta, events)
-        )
-
-
-def _worker_main(
-    worker_id: int,
-    task_queue,
-    result_queue,
-    config: CampaignConfig,
-    core_cfg: CoreConfig,
-    supervised: bool,
-    strict: bool,
-    watchdog: bool,
-    checkpoint_every: int | None,
-    telemetry_enabled: bool,
-    stop_event,
-    crash_spec: dict | None,
-    verify: bool = False,
-) -> None:
-    """Worker loop: request a task batch, run its cells, stream results.
-
-    SIGINT is ignored here — shutdown is the parent's job, delivered via
-    *stop_event* and probed between samples so the final checkpoint of an
-    interrupted cell still reaches the parent.
-    """
-    try:
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-    except (ValueError, OSError):  # pragma: no cover - non-main thread
-        pass
-    # Fresh per-worker telemetry: anything inherited over fork belongs to
-    # the parent and must not be double-reported from here.
-    obs.disable()
-    tel = obs.enable() if telemetry_enabled else None
-    shipper = _TelemetryShipper(result_queue, worker_id, tel)
-    supervisor = None
-    if supervised:
-        from repro.core.supervisor import Supervisor
-
-        supervisor = Supervisor(
-            journal=_QueueJournal(result_queue, worker_id),
-            max_incidents=None,  # the parent enforces the global budget
-            strict=strict,
-            watchdog=watchdog,
-        )
-    result_queue.put(("ready", worker_id))
-    while True:
-        wait_begin = time.perf_counter() if tel is not None else 0.0
-        try:
-            batch = task_queue.get(timeout=60.0)
-        except queue_module.Empty:
-            if stop_event.is_set():  # pragma: no cover - parent gave up
-                return
-            continue  # pragma: no cover - parent merely busy
-        if tel is not None:
-            tel.metrics.histogram("time.worker.task_wait").observe(
-                time.perf_counter() - wait_begin
-            )
-        if batch is None:
-            shipper.ship()
-            result_queue.put(("bye", worker_id))
-            return
-        with obs.span("worker-batch", worker=worker_id, cells=len(batch)):
-            for task in batch:
-                if stop_event.is_set():
-                    shipper.ship()
-                    result_queue.put(("stopped", worker_id))
-                    return
-                if crash_spec is not None and crash_spec["cell"] == [
-                    task.workload, task.component, task.cardinality
-                ]:
-                    # Test hook: die hard (no cleanup, no queue message) the
-                    # first time any worker reaches this cell, exactly like a
-                    # segfault would.  The flag file keeps the rescheduled
-                    # cell from killing its next worker too.
-                    flag = Path(crash_spec["flag"])
-                    if not flag.exists():
-                        flag.touch()
-                        os._exit(crash_spec.get("exit_code", 64))
-                result_queue.put(("start", worker_id, task.index))
-                store_proxy = _QueueStore(result_queue, worker_id, task)
-                try:
-                    cell = run_cell(
-                        task.workload, task.component, task.cardinality,
-                        config, core_cfg,
-                        supervisor=supervisor,
-                        store=store_proxy, cell_key=task.cell_key,
-                        checkpoint_every=checkpoint_every, resume=True,
-                        stop=stop_event.is_set,
-                        verify=verify,
-                    )
-                except CampaignInterrupted:
-                    shipper.ship()
-                    result_queue.put(("stopped", worker_id))
-                    return
-                except InjectionIncident as exc:
-                    # --strict escalation: the incident itself was already
-                    # forwarded by the queue journal; tell the parent to
-                    # abort.
-                    shipper.ship()
-                    result_queue.put(
-                        ("fatal", worker_id, task.index,
-                         type(exc).__name__, str(exc))
-                    )
-                    return
-                except Exception as exc:  # noqa: BLE001 - must not hang the pool
-                    shipper.ship()
-                    result_queue.put(
-                        ("fatal", worker_id, task.index, type(exc).__name__,
-                         f"{exc}\n{traceback_module.format_exc()}")
-                    )
-                    return
-                # Telemetry first, completion second: queue order from one
-                # worker is FIFO, so the parent still holds the cell in
-                # pending_done when its metric delta arrives.
-                shipper.ship(task.index)
-                result_queue.put(
-                    ("cell", worker_id, task.index, cell.as_dict())
-                )
-        shipper.ship()
-        result_queue.put(("ready", worker_id))
-
-
-def _affinity_batches(tasks: list[_CellTask], jobs: int) -> list[list[_CellTask]]:
+def _affinity_batches(tasks: list[CellTask], jobs: int) -> list[list[CellTask]]:
     """Group tasks by workload, splitting large groups to feed all workers.
 
     Whole-workload batches maximise checkpoint-cache reuse; splitting only
     kicks in when there are fewer workloads than workers, and the split
     halves still share a workload.
     """
-    by_workload: dict[str, list[_CellTask]] = {}
+    by_workload: dict[str, list[CellTask]] = {}
     for task in tasks:
         by_workload.setdefault(task.workload, []).append(task)
     batches = list(by_workload.values())
@@ -333,75 +137,946 @@ def _affinity_batches(tasks: list[_CellTask], jobs: int) -> list[list[_CellTask]
     return batches
 
 
-class _Pool:
-    """The worker processes plus everything needed to replace one."""
+class _DeadlineModel:
+    """Wall-clock deadlines derived from golden-run cycle counts.
+
+    The scheduler cannot know cycles-per-second a priori, so it
+    calibrates from completed cells: a cell's simulation budget is
+    proportional to ``golden_cycles × samples``, and the observed
+    units-per-second rate turns the budget of an in-flight cell into a
+    predicted wall time.  The deadline is ``deadline_factor`` times that
+    prediction (floored) — generous enough for cache-cold workers, tight
+    enough to catch a livelocked cell that keeps heartbeating.
+    """
+
+    def __init__(self, policy: ResiliencePolicy, samples: int) -> None:
+        self._policy = policy
+        self._samples = max(1, samples)
+        self._units = 0.0
+        self._wall = 0.0
+        self._count = 0
+
+    def record(self, golden_cycles: int | None, wall: float) -> None:
+        if golden_cycles is None or wall <= 0:
+            return
+        self._units += float(golden_cycles) * self._samples
+        self._wall += wall
+        self._count += 1
+
+    def predict(self, golden_cycles: int) -> float | None:
+        """Allowed wall seconds for a cell, or ``None`` (uncalibrated)."""
+        if self._wall <= 0 or self._units <= 0:
+            return None
+        rate = self._units / self._wall
+        return max(
+            self._policy.deadline_floor,
+            self._policy.deadline_factor
+            * float(golden_cycles) * self._samples / rate,
+        )
+
+    def mean_wall(self) -> float | None:
+        if self._count == 0:
+            return None
+        return self._wall / self._count
+
+
+class _Scheduler:
+    """One campaign's resilient parent loop over an executor backend."""
 
     def __init__(
         self,
-        ctx,
+        config: CampaignConfig,
         jobs: int,
-        worker_args: tuple,
+        progress: ProgressFn | None,
+        store,
+        core_cfg: CoreConfig,
+        supervisor,
+        checkpoint_every: int | None,
+        resume: bool,
+        verify: bool,
+        backend_name: str,
+        policy: ResiliencePolicy,
+        chaos: ChaosSpec | None,
     ) -> None:
-        self.ctx = ctx
-        self.worker_args = worker_args
-        self.result_queue = worker_args[0]
-        self.workers: dict[int, object] = {}
-        self.task_queues: dict[int, object] = {}
-        self.assigned: dict[int, list[_CellTask]] = {}
-        self.finished: set[int] = set()
-        self._next_id = 0
+        self.config = config
+        self.jobs = jobs
+        self.progress = progress
+        self.store = store
+        self.core_cfg = core_cfg
+        self.supervisor = supervisor
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.verify = verify
+        self.backend_name = backend_name
+        self.policy = policy
+        self.chaos = chaos
+
+        self.cells = config.cells()
+        self.total = len(self.cells)
+        self.results: dict[int, CellResult] = {}
+        self.keys: dict[int, str] = {}
+        self.tasks: list[CellTask] = []
+        for index, (workload, component, cardinality) in enumerate(self.cells):
+            key = config.cell_key(workload, component, cardinality, core_cfg)
+            self.keys[index] = key
+            cached = store.get(key) if store is not None else None
+            if cached is not None:
+                self.results[index] = cached
+                continue
+            partial = None
+            if store is not None and resume:
+                checkpoint = store.get_partial(key)
+                if checkpoint is not None:
+                    partial = checkpoint.as_dict()
+            self.tasks.append(CellTask(
+                index=index, workload=workload, component=component,
+                cardinality=cardinality, cell_key=key, partial=partial,
+            ))
+
+        # Supervisor-derived knobs (duck-typed, like the serial path).
+        self.strict = bool(getattr(supervisor, "strict", False))
+        self.watchdog = bool(getattr(supervisor, "watchdog", True))
+        self.max_incidents = getattr(supervisor, "max_incidents", None)
+        self.journal = getattr(supervisor, "journal", None)
+
+        # Pool / dispatch state.
+        self.backend: ExecutorBackend | None = None
+        self.handles: dict[int, WorkerHandle] = {}
+        self.assigned: dict[int, list[CellTask]] = {}
+        self.retired: set[int] = set()
+        self.cancelled: dict[int, float] = {}
+        self.idle: set[int] = set()
+        self.last_seen: dict[int, float] = {}
+        self.batches: deque[list[CellTask]] = deque()
+        self.retry_heap: list[tuple[float, int, list[CellTask]]] = []
+        self._retry_seq = 0
+        self.attempts: dict[int, int] = {}
+        self.speculated: set[int] = set()
         self.restarts = 0
-        self.max_restarts = jobs * _RESTARTS_PER_WORKER
-        for _ in range(jobs):
-            self.spawn()
+        self.max_restarts = jobs * policy.restarts_per_worker
+        self.degraded = False
+        self.global_stop = False
 
-    def spawn(self) -> int:
-        worker_id = self._next_id
-        self._next_id += 1
-        task_queue = self.ctx.Queue()
-        result_queue, config, core_cfg, supervised, strict, watchdog, \
-            checkpoint_every, telemetry_enabled, stop_event, \
-            crash_spec, verify = self.worker_args
-        proc = self.ctx.Process(
-            target=_worker_main,
-            args=(worker_id, task_queue, result_queue, config, core_cfg,
-                  supervised, strict, watchdog, checkpoint_every,
-                  telemetry_enabled, stop_event, crash_spec, verify),
-            daemon=True,
+        # Per-cell progress state.
+        self.pending_done = {task.index for task in self.tasks}
+        self.live_partials: dict[int, dict | None] = {
+            task.index: task.partial for task in self.tasks
+        }
+        self.cell_golden: dict[int, int] = {}
+        self.start_times: dict[int, float] = {}
+        self.deadlines: dict[int, float | None] = {}
+        self.running: dict[int, int] = {}
+        self.model = _DeadlineModel(policy, config.samples)
+
+        # Accounting.
+        self.emitted = 0
+        self.total_incidents = 0
+        self.lost_sample_incidents = 0
+        self.abort_exc: Exception | None = None
+
+        # Telemetry.
+        self.parent_tel = obs.active()
+        self.cell_deltas: dict[int, dict] = {}
+        self.worker_deltas: list[dict] = []
+
+        # Chaos (parent side): counters over droppable / duplicable
+        # message streams.
+        self._chaos_droppable = 0
+        self._chaos_dupable = 0
+
+    # -- small helpers -----------------------------------------------------
+
+    def _counter(self, name: str, amount: int = 1) -> None:
+        if self.parent_tel is not None and amount:
+            self.parent_tel.metrics.counter(name).inc(amount)
+
+    def _instant(self, name: str, **args) -> None:
+        if self.parent_tel is not None:
+            self.parent_tel.tracer.instant(name, **args)
+
+    def _cell_label(self, index: int) -> str:
+        workload, component, cardinality = self.cells[index]
+        return f"{workload}/{component}/{cardinality}-bit"
+
+    def _record_incident(self, incident) -> None:
+        if self.journal is not None:
+            self.journal.append(incident)
+        if self.supervisor is not None:
+            self.supervisor.incident_count += 1
+
+    def _journal_only(self, incident) -> None:
+        """Bookkeeping incidents (retries, degradation notes): journalled
+        for the audit trail, never counted against the incident budget —
+        the originating failure already was."""
+        if self.journal is not None:
+            self.journal.append(incident)
+
+    def _fabric_incident(self, kind, index, error_type, message, details):
+        from repro.core.supervisor import Incident
+
+        workload, component, cardinality = (
+            self.cells[index] if index is not None else ("-", "-", 0)
         )
-        proc.start()
-        tel = obs.active()
-        if tel is not None:
-            tel.metrics.counter("exec.workers_spawned").inc()
-        self.workers[worker_id] = proc
-        self.task_queues[worker_id] = task_queue
-        self.assigned[worker_id] = []
-        return worker_id
+        return Incident(
+            kind=kind,
+            workload=workload,
+            component=component,
+            cardinality=cardinality,
+            cell_seed=(
+                f"{self.config.seed}:{workload}:{component}:{cardinality}"
+                if index is not None else ""
+            ),
+            sample_index=-1,
+            inject_cycle=-1,
+            mask=None,
+            error_type=error_type,
+            message=message,
+            traceback="",
+            details=details,
+        )
 
-    def live_ids(self) -> list[int]:
-        return [wid for wid in self.workers if wid not in self.finished]
+    def _emit_progress(self) -> int:
+        while self.emitted in self.results:
+            if self.progress is not None:
+                self.progress(
+                    self.emitted + 1, self.total, self.results[self.emitted]
+                )
+            self.emitted += 1
+        return self.emitted
 
-    def dead_ids(self) -> list[int]:
+    def _alive_ids(self) -> list[int]:
         return [
-            wid for wid, proc in self.workers.items()
-            if wid not in self.finished and not proc.is_alive()
+            wid for wid, handle in self.handles.items()
+            if wid not in self.retired and handle.alive()
         ]
 
-    def retire(self, worker_id: int) -> None:
-        self.finished.add(worker_id)
+    def _budget_abort(self, last_message: str) -> None:
+        if (
+            self.max_incidents is not None
+            and self.total_incidents > self.max_incidents
+        ):
+            self.abort_exc = IncidentBudgetExceeded(
+                f"{self.total_incidents} incidents exceed the budget of "
+                f"{self.max_incidents} (last: {last_message})"
+            )
 
-    def shutdown(self, timeout: float = 5.0) -> None:
-        for worker_id in self.live_ids():
+    # -- pool management ---------------------------------------------------
+
+    def _spawn(self) -> None:
+        try:
+            handle = self.backend.spawn()
+        except Exception as exc:  # noqa: BLE001 - backend failure → degrade
+            self._mark_degraded(f"backend spawn failed: {exc}")
+            return
+        self.handles[handle.worker_id] = handle
+        self.assigned[handle.worker_id] = []
+        self.last_seen[handle.worker_id] = time.monotonic()
+        self._counter("exec.workers_spawned")
+
+    def _mark_degraded(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self._journal_only(self._fabric_incident(
+            "degraded", None, "WorkerCrash",
+            f"worker pool degraded — no further replacements will be "
+            f"spawned ({reason}); remaining cells finish on the shrinking "
+            f"pool, serially in-process if it empties",
+            {"restarts": self.restarts, "reason": reason},
+        ))
+        if self.parent_tel is not None:
+            self.parent_tel.metrics.gauge("exec.degraded").set_max(1.0)
+        self._instant("degraded", reason=reason)
+
+    def _replace_worker(self) -> None:
+        if self.degraded or self.global_stop:
+            return
+        if self.restarts >= self.max_restarts:
+            self._mark_degraded(
+                f"restart budget of {self.max_restarts} exhausted"
+            )
+            return
+        self.restarts += 1
+        self._spawn()
+
+    def _retire(self, worker_id: int) -> None:
+        self.retired.add(worker_id)
+        self.idle.discard(worker_id)
+        self.cancelled.pop(worker_id, None)
+
+    # -- failure handling --------------------------------------------------
+
+    def _worker_death(self, worker_id: int, kind: str, cause: str) -> None:
+        """A worker died (or was killed after hanging): journal, count,
+        reschedule its in-flight cells, and replace it within budget."""
+        handle = self.handles[worker_id]
+        handle.kill()
+        handle.join(timeout=1.0)  # reap, so exitcode is real in the record
+        self._retire(worker_id)
+        remaining = [
+            task for task in self.assigned[worker_id]
+            if task.index in self.pending_done
+        ]
+        self.assigned[worker_id] = []
+        for task in remaining:
+            self.running.pop(task.index, None)
+        label = self._cell_label(remaining[0].index) if remaining else "idle"
+        # The telemetry a worker accumulated since its last per-cell ship
+        # dies with it — count the loss instead of silently absorbing it.
+        lost_deltas = len(remaining)
+        self._counter("exec.lost_deltas", lost_deltas)
+        verb = (
+            f"died with exit code {handle.exitcode()}" if kind == "worker-crash"
+            else "hung (no heartbeat) and was killed"
+        )
+        incident = self._fabric_incident(
+            kind,
+            remaining[0].index if remaining else None,
+            "WorkerCrash" if kind == "worker-crash" else "WorkerHang",
+            f"worker {worker_id} (pid {handle.pid()}) {verb} while running "
+            f"{label}; {len(remaining)} cell(s) rescheduled"
+            + (f"; {lost_deltas} telemetry delta(s) lost" if lost_deltas
+               else ""),
+            {"worker": worker_id, "exitcode": handle.exitcode(),
+             "cause": cause, "lost_deltas": lost_deltas,
+             "rescheduled": [task.index for task in remaining]},
+        )
+        self._record_incident(incident)
+        self.total_incidents += 1
+        self._counter("exec.incidents")
+        self._counter("exec.incidents." + kind)
+        self._instant(
+            kind, worker=worker_id, exitcode=handle.exitcode(),
+            rescheduled=len(remaining),
+        )
+        if self.strict:
+            self.abort_exc = InjectionIncident(f"[strict] {incident.message}")
+            return
+        self._budget_abort(incident.message)
+        if self.abort_exc is not None:
+            return
+        self._reschedule(remaining, cause=kind, worker=worker_id)
+        self._replace_worker()
+
+    def _reschedule(
+        self, tasks: list[CellTask], cause: str, worker: int | None
+    ) -> None:
+        """Queue failed cells for retry with backoff; quarantine cells
+        that exhausted their attempt budget.  Never silent: every retry
+        is a journalled ``retry`` incident."""
+        now = time.monotonic()
+        for task in tasks:
+            if self.abort_exc is not None:
+                return
+            index = task.index
+            attempt = self.attempts.get(index, 0) + 1
+            self.attempts[index] = attempt
+            if attempt >= self.policy.max_attempts:
+                self._quarantine(task, cause)
+                continue
+            delay = self.policy.backoff(task.cell_key, attempt)
+            refreshed = CellTask(
+                index=index, workload=task.workload,
+                component=task.component, cardinality=task.cardinality,
+                cell_key=task.cell_key,
+                partial=self.live_partials.get(index),
+                attempt=attempt,
+            )
+            heapq.heappush(
+                self.retry_heap, (now + delay, self._retry_seq, [refreshed])
+            )
+            self._retry_seq += 1
+            self._journal_only(self._fabric_incident(
+                "retry", index, "Reschedule",
+                f"attempt {attempt + 1} of {self._cell_label(index)} "
+                f"scheduled after {delay:.3f}s backoff (cause: {cause})",
+                {"attempt": attempt, "backoff": round(delay, 4),
+                 "cause": cause, "worker": worker},
+            ))
+            self._counter("exec.retries")
+            self._instant(
+                "retry", cell=self._cell_label(index), attempt=attempt,
+                backoff=round(delay, 4), cause=cause,
+            )
+
+    def _quarantine(self, task: CellTask, cause: str) -> None:
+        """A poison cell: salvage its last checkpoint as a short result,
+        count the missing samples as lost, and move on."""
+        index = task.index
+        counts = ClassCounts()
+        done = 0
+        golden = self.cell_golden.get(index)
+        state = self.live_partials.get(index)
+        if state is not None:
             try:
-                self.task_queues[worker_id].put_nowait(None)
-            except Exception:  # pragma: no cover - full/broken queue
-                pass
-        for proc in self.workers.values():
-            proc.join(timeout=timeout)
-        for proc in self.workers.values():
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
+                checkpoint = CellCheckpoint.from_dict(state)
+            except (KeyError, ValueError, TypeError):  # pragma: no cover
+                checkpoint = None
+            if checkpoint is not None:
+                counts = checkpoint.counts
+                done = checkpoint.samples_done
+                golden = checkpoint.golden_cycles
+        if golden is None:
+            # Fault-free golden run in the parent: safe (the poison is in
+            # the cell's *injections*) and cached.
+            golden = golden_run(
+                get_workload(task.workload), self.core_cfg
+            ).cycles
+        self.results[index] = CellResult(
+            workload=task.workload, component=task.component,
+            cardinality=task.cardinality, counts=counts,
+            golden_cycles=golden,
+        )
+        lost = max(0, self.config.samples - done)
+        self.lost_sample_incidents += lost
+        attempts = self.attempts.get(index, 0)
+        incident = self._fabric_incident(
+            "poison-cell", index, "PoisonCell",
+            f"cell {self._cell_label(index)} failed {attempts} "
+            f"attempt(s) (last cause: {cause}) and was quarantined; "
+            f"{done} sample(s) salvaged from its last checkpoint, "
+            f"{lost} lost",
+            {"attempts": attempts, "cause": cause,
+             "samples_kept": done, "samples_lost": lost},
+        )
+        self._record_incident(incident)
+        self.total_incidents += 1
+        self._counter("exec.incidents")
+        self._counter("exec.incidents.poison-cell")
+        self._counter("exec.quarantined")
+        self._instant(
+            "poison-cell", cell=self._cell_label(index), attempts=attempts,
+            lost=lost,
+        )
+        self.pending_done.discard(index)
+        self.deadlines.pop(index, None)
+        self.running.pop(index, None)
+        self._emit_progress()
+        if self.strict:
+            self.abort_exc = InjectionIncident(f"[strict] {incident.message}")
+            return
+        self._budget_abort(incident.message)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _next_batch(self, now: float) -> list[CellTask] | None:
+        if self.batches:
+            return self.batches.popleft()
+        if self.retry_heap and self.retry_heap[0][0] <= now:
+            return heapq.heappop(self.retry_heap)[2]
+        return None
+
+    def _dispatch(self, worker_id: int) -> None:
+        if self.global_stop or worker_id in self.retired:
+            return
+        batch = self._next_batch(time.monotonic())
+        if batch is None:
+            self.idle.add(worker_id)
+            return
+        batch = [
+            task for task in batch if task.index in self.pending_done
+        ]
+        if not batch:
+            self._dispatch(worker_id)
+            return
+        self.assigned[worker_id] = batch
+        self.idle.discard(worker_id)
+        self.handles[worker_id].send(batch)
+
+    def _speculate(self, now: float) -> None:
+        """Re-execute the worst straggler on an idle worker."""
+        if not (self.policy.speculate and self.idle):
+            return
+        if self.batches or self.retry_heap:
+            return
+        mean = self.model.mean_wall()
+        if mean is None:
+            return
+        threshold = self.policy.straggler_factor * mean
+        candidates = [
+            (now - started, index)
+            for index, started in self.start_times.items()
+            if index in self.pending_done
+            and index not in self.speculated
+            and now - started > threshold
+        ]
+        if not candidates:
+            return
+        _, index = max(candidates)
+        worker_id = min(self.idle)
+        workload, component, cardinality = self.cells[index]
+        task = CellTask(
+            index=index, workload=workload, component=component,
+            cardinality=cardinality, cell_key=self.keys[index],
+            partial=self.live_partials.get(index),
+            attempt=self.attempts.get(index, 0),
+        )
+        self.speculated.add(index)
+        self.idle.discard(worker_id)
+        self.assigned[worker_id] = [task]
+        self.handles[worker_id].send([task])
+        self._counter("exec.speculative")
+        self._instant(
+            "speculate", cell=self._cell_label(index), worker=worker_id,
+        )
+
+    # -- escalation & liveness ---------------------------------------------
+
+    def _reap_dead(self) -> None:
+        for worker_id in list(self.handles):
+            if worker_id in self.retired:
+                continue
+            if not self.handles[worker_id].alive():
+                self._worker_death(
+                    worker_id,
+                    "worker-hang" if worker_id in self.cancelled
+                    else "worker-crash",
+                    "exit",
+                )
+                if self.abort_exc is not None:
+                    return
+
+    def _tick(self, now: float) -> None:
+        # Hang / deadline escalation: only workers with in-flight cells
+        # owe us heartbeats; idle workers are silent by design.
+        for worker_id in list(self.handles):
+            if worker_id in self.retired:
+                continue
+            handle = self.handles[worker_id]
+            in_flight = [
+                task.index for task in self.assigned[worker_id]
+                if task.index in self.pending_done
+            ]
+            if worker_id in self.cancelled:
+                if now - self.cancelled[worker_id] > self.policy.grace_period:
+                    self._worker_death(worker_id, "worker-hang", "grace")
+                    if self.abort_exc is not None:
+                        return
+                continue
+            if not in_flight:
+                continue
+            silent = now - self.last_seen.get(worker_id, now)
+            over_deadline = any(
+                self.deadlines.get(index) is not None
+                and now > self.deadlines[index]
+                and self.running.get(index) == worker_id
+                for index in in_flight
+            )
+            if silent > self.policy.hang_timeout or over_deadline:
+                handle.soft_cancel()
+                self.cancelled[worker_id] = now
+                self._counter("exec.soft_cancels")
+                self._instant(
+                    "soft-cancel", worker=worker_id,
+                    silent=round(silent, 3), deadline=over_deadline,
+                )
+        # Due retries → idle workers.
+        while (
+            self.idle and self.retry_heap and self.retry_heap[0][0] <= now
+        ):
+            self._dispatch(self.idle.pop())
+        self._speculate(now)
+
+    # -- message handling --------------------------------------------------
+
+    def _recv_with_chaos(self, timeout: float) -> list[tuple]:
+        message = self.backend.recv(timeout)
+        if message is None:
+            return []
+        if self.chaos is None:
+            return [message]
+        kind = message[0]
+        copies = 1
+        if kind in ("partial", "telemetry", "cell"):
+            if self._chaos_droppable in self.chaos.drop_ordinals:
+                self._chaos_droppable += 1
+                self._counter("exec.chaos.dropped")
+                return []
+            self._chaos_droppable += 1
+        if kind in ("cell", "partial"):
+            if self._chaos_dupable in self.chaos.dup_ordinals:
+                copies = 2
+                self._counter("exec.chaos.duplicated")
+            self._chaos_dupable += 1
+        return [message] * copies
+
+    def _handle(self, message: tuple) -> None:
+        kind = message[0]
+        worker_id = message[1]
+        self.last_seen[worker_id] = time.monotonic()
+        if worker_id in self.cancelled:
+            # Still responsive: postpone the kill — a cancelled worker
+            # that keeps talking will stop at its next sample boundary.
+            self.cancelled[worker_id] = self.last_seen[worker_id]
+        if kind == "ready":
+            if worker_id in self.retired:
+                return
+            # Per-worker FIFO means every result of the finished batch
+            # already arrived — anything still pending was lost in flight
+            # (dropped message, torn transport) and must be re-executed.
+            lost = [
+                task for task in self.assigned[worker_id]
+                if task.index in self.pending_done
+                and not self.global_stop
+            ]
+            self.assigned[worker_id] = []
+            if lost:
+                self._counter("exec.lost_results", len(lost))
+                self._reschedule(
+                    lost, cause="lost-result", worker=worker_id
+                )
+                if self.abort_exc is not None:
+                    return
+            if worker_id in self.cancelled:
+                return  # it is about to stop; don't race a new batch
+            self._dispatch(worker_id)
+        elif kind == "start":
+            _, _, index, golden_cycles = message
+            self.cell_golden[index] = golden_cycles
+            now = time.monotonic()
+            self.start_times[index] = now
+            self.running[index] = worker_id
+            predicted = self.model.predict(golden_cycles)
+            self.deadlines[index] = (
+                now + predicted if predicted is not None else None
+            )
+        elif kind == "heartbeat":
+            self._counter("exec.heartbeats")
+        elif kind == "partial":
+            _, _, index, key, state = message
+            self.live_partials[index] = state
+            if self.store is not None and index in self.pending_done:
+                self.store.put_partial(key, CellCheckpoint.from_dict(state))
+        elif kind == "cell":
+            _, _, index, data = message
+            if index not in self.pending_done:
+                return  # duplicate from a reschedule or speculation
+            cell = CellResult.from_dict(data)
+            self.results[index] = cell
+            self.pending_done.discard(index)
+            self.live_partials.pop(index, None)
+            started = self.start_times.pop(index, None)
+            if started is not None:
+                self.model.record(
+                    self.cell_golden.get(index),
+                    time.monotonic() - started,
+                )
+            self.deadlines.pop(index, None)
+            self.running.pop(index, None)
+            if self.store is not None:
+                self.store.put(self.keys[index], cell)
+            done = self._emit_progress()
+            if self.parent_tel is not None:
+                # Completed cells buffered waiting for an earlier cell —
+                # how far ahead of canonical order the schedule ran.
+                self.parent_tel.metrics.gauge(
+                    "exec.scheduler.reorder_depth"
+                ).set_max(float(len(self.results) - done))
+        elif kind == "telemetry":
+            _, _, index, delta, events = message
+            if self.parent_tel is not None:
+                if index is None:
+                    self.worker_deltas.append(delta)
+                elif index in self.pending_done:
+                    # Keep the first completion's telemetry, like the
+                    # first "cell" message; a raced duplicate is dropped
+                    # with its cell.
+                    self.cell_deltas[index] = delta
+                self.parent_tel.tracer.adopt(events, tid=worker_id + 1)
+        elif kind == "incident":
+            _, _, data = message
+            from repro.core.supervisor import Incident
+
+            self._record_incident(Incident.from_dict(data))
+            self.total_incidents += 1
+            self.lost_sample_incidents += 1
+            self._budget_abort("worker-contained incident")
+        elif kind == "fatal":
+            _, _, index, error_type, detail = message
+            self._retire(worker_id)
+            self.abort_exc = InjectionIncident(
+                f"worker {worker_id} aborted on cell "
+                f"{self._cell_label(index)}: {error_type}: {detail}"
+            )
+        elif kind == "stopped":
+            was_cancelled = worker_id in self.cancelled
+            self._retire(worker_id)
+            if self.global_stop:
+                return
+            remaining = [
+                task for task in self.assigned[worker_id]
+                if task.index in self.pending_done
+            ]
+            self.assigned[worker_id] = []
+            for task in remaining:
+                self.running.pop(task.index, None)
+            if remaining:
+                self._reschedule(
+                    remaining,
+                    cause="cancelled" if was_cancelled else "stopped",
+                    worker=worker_id,
+                )
+            if was_cancelled and self.abort_exc is None:
+                self._replace_worker()
+        elif kind == "bye":
+            self._retire(worker_id)
+
+    # -- degradation -------------------------------------------------------
+
+    def _serial_fallback(self) -> None:
+        """The pool is gone: finish the remaining cells in-process.
+
+        Cells that already exhausted their attempt budget are quarantined
+        first — a cell that killed every worker it touched must not take
+        the parent down with it.
+        """
+        self._mark_degraded("no live workers remain")
+        remaining = sorted(self.pending_done)
+        self._instant("serial-fallback", cells=len(remaining))
+        self._counter("exec.serial_fallback_cells", len(remaining))
+        for index in remaining:
+            if self.abort_exc is not None:
+                return
+            workload, component, cardinality = self.cells[index]
+            task = CellTask(
+                index=index, workload=workload, component=component,
+                cardinality=cardinality, cell_key=self.keys[index],
+                partial=self.live_partials.get(index),
+                attempt=self.attempts.get(index, 0),
+            )
+            if self.attempts.get(index, 0) >= self.policy.max_attempts:
+                self._quarantine(task, "degraded")
+                continue
+            before = (
+                self.supervisor.incident_count
+                if self.supervisor is not None else 0
+            )
+            # The store still holds the freshest streamed checkpoint, so
+            # resume=True continues exactly where the dead worker left
+            # off; live_partials may be newer only if a store-less run.
+            if (
+                self.store is None
+                and task.partial is not None
+            ):
+                store_arg = _MemoryPartial(task.cell_key, task.partial)
+            else:
+                store_arg = self.store
+            try:
+                cell = run_cell(
+                    workload, component, cardinality,
+                    self.config, self.core_cfg,
+                    supervisor=self.supervisor,
+                    store=store_arg, cell_key=self.keys[index],
+                    checkpoint_every=self.checkpoint_every, resume=True,
+                    verify=self.verify,
+                )
+            except CampaignInterrupted:  # pragma: no cover - no stop hook
+                return
+            except InjectionIncident as exc:
+                self.abort_exc = exc
+                return
+            if self.supervisor is not None:
+                contained = self.supervisor.incident_count - before
+                self.total_incidents += contained
+                self.lost_sample_incidents += contained
+            self.results[index] = cell
+            self.pending_done.discard(index)
+            self.live_partials.pop(index, None)
+            if self.store is not None:
+                self.store.put(self.keys[index], cell)
+            self._emit_progress()
+
+    # -- shutdown paths ----------------------------------------------------
+
+    def _drain_for_checkpoints(self, timeout: float = 10.0) -> None:
+        """Absorb in-flight messages while stopping workers wind down.
+
+        Everything durable that arrives during the drain — final mid-cell
+        checkpoints, cells that completed in the shutdown window — is
+        written to the store, so an interrupted run loses at most the
+        unsampled remainder of each worker's current injection.
+        """
+        deadline = time.monotonic() + timeout
+        while self._alive_ids() and time.monotonic() < deadline:
+            message = self.backend.recv(_POLL_INTERVAL)
+            if message is None:
+                continue
+            kind = message[0]
+            if kind == "partial":
+                _, _, index, key, state = message
+                self.live_partials[index] = state
+                if self.store is not None and index in self.pending_done:
+                    self.store.put_partial(
+                        key, CellCheckpoint.from_dict(state)
+                    )
+            elif kind == "cell":
+                _, _, index, data = message
+                if self.store is not None and index in self.pending_done:
+                    self.store.put(
+                        self.keys[index], CellResult.from_dict(data)
+                    )
+                self.pending_done.discard(index)
+            elif kind == "telemetry":
+                _, worker_id, index, delta, events = message
+                if self.parent_tel is not None:
+                    if index is None:
+                        self.worker_deltas.append(delta)
+                    elif index in self.pending_done:
+                        self.cell_deltas[index] = delta
+                    self.parent_tel.tracer.adopt(events, tid=worker_id + 1)
+            elif kind == "ready":
+                worker_id = message[1]
+                if worker_id not in self.retired:
+                    self.handles[worker_id].send(None)
+            elif kind in ("stopped", "bye"):
+                self._retire(message[1])
+
+    def _collect_leftover_telemetry(self) -> None:
+        """Absorb telemetry still queued after every worker has exited.
+
+        Deltas for cells that were already merged (raced duplicates from
+        reschedules or speculation) are counted as ``exec.lost_deltas``
+        rather than silently dropped — the serial/parallel ``sim.*``
+        equality contract only holds for incident-free runs, and the
+        counter is how an operator sees why.
+        """
+        while True:
+            message = self.backend.recv(0.2)
+            if message is None:
+                return
+            if message[0] != "telemetry":
+                continue
+            _, worker_id, index, delta, events = message
+            if index is None:
+                self.worker_deltas.append(delta)
+            elif index in self.pending_done:
+                self.cell_deltas[index] = delta
+            else:
+                self._counter("exec.lost_deltas")
+            self.parent_tel.tracer.adopt(events, tid=worker_id + 1)
+
+    def _shutdown(self) -> None:
+        for worker_id, handle in self.handles.items():
+            if worker_id in self.retired:
+                continue
+            handle.soft_cancel()
+            handle.send(None)
+        for handle in self.handles.values():
+            handle.join(timeout=5.0)
+        for handle in self.handles.values():
+            if handle.alive():
+                handle.kill()
+                handle.join(timeout=1.0)
+        if self.parent_tel is not None:
+            self._collect_leftover_telemetry()
+            # Canonical-order merge: same input order every run, and the
+            # merge operators themselves are order-independent — either
+            # property alone makes merged counters deterministic.
+            for index in sorted(self.cell_deltas):
+                self.parent_tel.metrics.merge_dict(self.cell_deltas[index])
+            for delta in self.worker_deltas:
+                self.parent_tel.metrics.merge_dict(delta)
+        self.backend.close()
+
+    # -- the main loop -----------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        self._emit_progress()
+        if not self.tasks:
+            return CampaignResult(
+                [self.results[i] for i in range(self.total)],
+                incidents=self.lost_sample_incidents,
+            )
+        jobs = max(1, min(self.jobs, len(self.tasks)))
+        batches = _affinity_batches(self.tasks, jobs)
+        self.batches = deque(batches)
+        self.max_restarts = jobs * self.policy.restarts_per_worker
+        spec = WorkerSpec(
+            config=self.config, core_cfg=self.core_cfg,
+            supervised=self.supervisor is not None, strict=self.strict,
+            watchdog=self.watchdog, checkpoint_every=self.checkpoint_every,
+            telemetry_enabled=self.parent_tel is not None,
+            verify=self.verify,
+            heartbeat_interval=self.policy.heartbeat_interval,
+            chaos=self.chaos,
+        )
+        self.backend = create_backend(self.backend_name, spec)
+        if self.parent_tel is not None:
+            self.parent_tel.metrics.gauge("exec.scheduler.batches").set_max(
+                len(batches)
+            )
+            self.parent_tel.metrics.counter(
+                "exec.scheduler.cells_cached"
+            ).inc(len(self.results))
+        for _ in range(min(jobs, len(batches))):
+            self._spawn()
+        try:
+            while self.pending_done and self.abort_exc is None:
+                self._reap_dead()
+                if self.abort_exc is not None:
+                    break
+                if not self._alive_ids():
+                    if self.policy.degrade_to_serial and not self.global_stop:
+                        self._serial_fallback()
+                    elif self.abort_exc is None:
+                        self.abort_exc = WorkerCrash(
+                            f"all workers died ({self.restarts} restart(s) "
+                            f"used of {self.max_restarts}) and serial "
+                            f"degradation is disabled"
+                        )
+                    break
+                for message in self._recv_with_chaos(_POLL_INTERVAL):
+                    self._handle(message)
+                    if self.abort_exc is not None:
+                        break
+                if self.abort_exc is None:
+                    self._tick(time.monotonic())
+        except KeyboardInterrupt:
+            # Graceful drain (SIGINT and SIGTERM both land here): let
+            # every worker finish its current sample, flush its final
+            # mid-cell checkpoint, and exit; persist whatever arrives so
+            # --resume continues bit-identically.
+            self.global_stop = True
+            for worker_id, handle in self.handles.items():
+                if worker_id not in self.retired:
+                    handle.soft_cancel()
+            self._drain_for_checkpoints()
+            if self.store is not None:
+                self.store.compact()
+            raise
+        finally:
+            self.global_stop = True
+            self._shutdown()
+
+        if self.abort_exc is not None:
+            if self.store is not None:
+                self.store.compact()
+            raise self.abort_exc
+        return CampaignResult(
+            [self.results[i] for i in range(self.total)],
+            incidents=self.lost_sample_incidents,
+        )
+
+
+class _MemoryPartial:
+    """Minimal store stand-in for store-less serial fallback: serves the
+    freshest streamed checkpoint so the fallback resumes instead of
+    redoing the dead worker's samples."""
+
+    def __init__(self, key: str, state: dict) -> None:
+        self._key = key
+        self._state = state
+
+    def get_partial(self, key: str) -> CellCheckpoint | None:
+        if key != self._key:
+            return None
+        try:
+            return CellCheckpoint.from_dict(self._state)
+        except (KeyError, ValueError, TypeError):  # pragma: no cover
+            return None
+
+    def put_partial(self, key: str, checkpoint: CellCheckpoint) -> None:
+        self._state = checkpoint.as_dict()
 
 
 def run_campaign_parallel(
@@ -415,9 +1090,12 @@ def run_campaign_parallel(
     checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = True,
     verify: bool = False,
+    backend: str = "multiprocessing",
+    policy: ResiliencePolicy | None = None,
+    chaos: ChaosSpec | None = None,
     _crash_spec: dict | None = None,
 ) -> CampaignResult:
-    """Run a campaign across *jobs* worker processes.
+    """Run a campaign across *jobs* workers behind an executor backend.
 
     Drop-in equivalent of the serial :func:`~repro.core.campaign.run_campaign`
     body: same store semantics (cached cells are served without
@@ -425,375 +1103,24 @@ def run_campaign_parallel(
     contract (*supervisor*'s journal receives every incident and its
     ``incident_count`` grows), same result — byte-identical JSON.
 
-    *_crash_spec* is a test hook: ``{"cell": [w, c, k], "flag": path}``
-    makes the first worker that reaches that cell die unannounced, which
-    exercises crash containment and rescheduling deterministically.
+    *backend* selects the executor backend (see
+    :data:`repro.core.executor.BACKENDS`); *policy* tunes the resilience
+    protocol; *chaos* injects deterministic faults into the fabric (see
+    :mod:`repro.core.chaos`).  *_crash_spec* is the legacy test hook:
+    ``{"cell": [w, c, k], "flag": path}`` makes the first worker that
+    reaches that cell die unannounced (now sugar for a one-kill chaos
+    spec).
     """
-    cells = config.cells()
-    total = len(cells)
-    results: dict[int, CellResult] = {}
-    tasks: list[_CellTask] = []
-    keys: dict[int, str] = {}
-    for index, (workload, component, cardinality) in enumerate(cells):
-        key = config.cell_key(workload, component, cardinality, core_cfg)
-        keys[index] = key
-        cached = store.get(key) if store is not None else None
-        if cached is not None:
-            results[index] = cached
-            continue
-        partial = None
-        if store is not None and resume:
-            checkpoint = store.get_partial(key)
-            if checkpoint is not None:
-                partial = checkpoint.as_dict()
-        tasks.append(_CellTask(
-            index=index, workload=workload, component=component,
-            cardinality=cardinality, cell_key=key, partial=partial,
-        ))
-
-    emitted = 0
-
-    def emit_progress() -> int:
-        nonlocal emitted
-        while emitted in results:
-            if progress is not None:
-                progress(emitted + 1, total, results[emitted])
-            emitted += 1
-        return emitted
-
-    emit_progress()
-    lost_sample_incidents = 0
-    if not tasks:
-        return CampaignResult(
-            [results[i] for i in range(total)],
-            incidents=lost_sample_incidents,
-        )
-
-    from repro.core.supervisor import Incident
-
-    strict = bool(getattr(supervisor, "strict", False))
-    watchdog = bool(getattr(supervisor, "watchdog", True))
-    max_incidents = getattr(supervisor, "max_incidents", None)
-    journal = getattr(supervisor, "journal", None)
-
-    def record_incident(incident: Incident) -> None:
-        if journal is not None:
-            journal.append(incident)
-        if supervisor is not None:
-            supervisor.incident_count += 1
-
-    parent_tel = obs.active()
-    #: Per-cell metric deltas (by canonical index) and worker-scoped
-    #: deltas, merged into the parent registry once the grid completes —
-    #: cells in canonical order, then workers in spawn order.
-    cell_deltas: dict[int, dict] = {}
-    worker_deltas: list[dict] = []
-
-    ctx = _context()
-    stop_event = ctx.Event()
-    result_queue = ctx.Queue()
-    jobs = max(1, min(jobs, len(tasks)))
-    batches = _affinity_batches(tasks, jobs)
-    pool = _Pool(ctx, min(jobs, len(batches)), (
-        result_queue, config, core_cfg, supervisor is not None, strict,
-        watchdog, checkpoint_every, parent_tel is not None, stop_event,
-        _crash_spec, verify,
-    ))
-    if parent_tel is not None:
-        parent_tel.metrics.gauge("exec.scheduler.batches").set_max(
-            len(batches)
-        )
-        parent_tel.metrics.counter("exec.scheduler.cells_cached").inc(
-            len(results)
-        )
-    # Parent-held copies of the freshest checkpoint per in-flight cell:
-    # what a rescheduled cell resumes from when its worker died between
-    # store writes and completion.
-    live_partials: dict[int, dict] = {task.index: task.partial for task in tasks}
-    pending_done = {task.index for task in tasks}
-    total_incidents = 0
-    abort_exc: Exception | None = None
-
-    def handle_crash(worker_id: int) -> None:
-        nonlocal total_incidents, abort_exc
-        proc = pool.workers[worker_id]
-        pool.retire(worker_id)
-        remaining = [
-            task for task in pool.assigned[worker_id]
-            if task.index in pending_done
-        ]
-        pool.assigned[worker_id] = []
-        label = (
-            f"{remaining[0].workload}/{remaining[0].component}/"
-            f"{remaining[0].cardinality}-bit" if remaining else "idle"
-        )
-        first = remaining[0] if remaining else None
-        incident = Incident(
-            kind="worker-crash",
-            workload=first.workload if first else "-",
-            component=first.component if first else "-",
-            cardinality=first.cardinality if first else 0,
-            cell_seed=(
-                f"{config.seed}:{first.workload}:{first.component}:"
-                f"{first.cardinality}" if first else ""
-            ),
-            sample_index=-1,
-            inject_cycle=-1,
-            mask=None,
-            error_type="WorkerCrash",
-            message=(
-                f"worker {worker_id} (pid {proc.pid}) died with exit code "
-                f"{proc.exitcode} while running {label}; "
-                f"{len(remaining)} cell(s) rescheduled"
-            ),
-            traceback="",
-        )
-        record_incident(incident)
-        total_incidents += 1
-        if parent_tel is not None:
-            # Worker crashes are contained in the parent, so they are
-            # counted here — never by a worker-side supervisor.
-            parent_tel.metrics.counter("exec.incidents").inc()
-            parent_tel.metrics.counter("exec.incidents.worker-crash").inc()
-            parent_tel.tracer.instant(
-                "worker-crash", worker=worker_id, exitcode=proc.exitcode,
-                rescheduled=len(remaining),
-            )
-        if strict:
-            abort_exc = InjectionIncident(
-                f"[strict] {incident.message}"
-            )
-            return
-        if max_incidents is not None and total_incidents > max_incidents:
-            abort_exc = IncidentBudgetExceeded(
-                f"{total_incidents} incidents exceed the budget of "
-                f"{max_incidents} (last: {incident.message})"
-            )
-            return
-        if pool.restarts >= pool.max_restarts:
-            abort_exc = WorkerCrash(
-                f"workers crashed {pool.restarts + 1} times (budget "
-                f"{pool.max_restarts}); the crash appears deterministic — "
-                f"last: {incident.message}"
-            )
-            return
-        if remaining:
-            refreshed = [
-                _CellTask(
-                    index=task.index, workload=task.workload,
-                    component=task.component, cardinality=task.cardinality,
-                    cell_key=task.cell_key,
-                    partial=live_partials.get(task.index),
-                )
-                for task in remaining
-            ]
-            batches.append(refreshed)
-        pool.restarts += 1
-        pool.spawn()
-
-    try:
-        while pending_done and abort_exc is None:
-            try:
-                message = result_queue.get(timeout=_POLL_INTERVAL)
-            except queue_module.Empty:
-                for worker_id in pool.dead_ids():
-                    handle_crash(worker_id)
-                    if abort_exc is not None:
-                        break
-                continue
-            kind = message[0]
-            if kind == "ready":
-                worker_id = message[1]
-                if worker_id in pool.finished:
-                    continue
-                if batches:
-                    batch = batches.pop(0)
-                    pool.assigned[worker_id] = batch
-                    pool.task_queues[worker_id].put(batch)
-                else:
-                    pool.assigned[worker_id] = []
-                    pool.task_queues[worker_id].put(None)
-            elif kind == "start":
-                pass  # liveness breadcrumb only
-            elif kind == "partial":
-                _, _, index, key, state = message
-                live_partials[index] = state
-                if store is not None and index in pending_done:
-                    store.put_partial(key, CellCheckpoint.from_dict(state))
-            elif kind == "cell":
-                _, _, index, data = message
-                if index not in pending_done:
-                    continue  # duplicate from a raced reschedule
-                cell = CellResult.from_dict(data)
-                results[index] = cell
-                pending_done.discard(index)
-                live_partials.pop(index, None)
-                if store is not None:
-                    store.put(keys[index], cell)
-                done = emit_progress()
-                if parent_tel is not None:
-                    # Completed cells buffered waiting for an earlier cell
-                    # to land — how far ahead of canonical order the
-                    # schedule ran.
-                    parent_tel.metrics.gauge(
-                        "exec.scheduler.reorder_depth"
-                    ).set_max(float(len(results) - done))
-            elif kind == "telemetry":
-                _, worker_id, index, delta, events = message
-                if parent_tel is not None:
-                    if index is None:
-                        worker_deltas.append(delta)
-                    elif index in pending_done:
-                        # Keep the first completion's telemetry, like the
-                        # first "cell" message; a raced duplicate from a
-                        # reschedule is dropped with its cell.
-                        cell_deltas[index] = delta
-                    parent_tel.tracer.adopt(events, tid=worker_id + 1)
-            elif kind == "incident":
-                _, _, data = message
-                record_incident(Incident.from_dict(data))
-                total_incidents += 1
-                lost_sample_incidents += 1
-                if (
-                    max_incidents is not None
-                    and total_incidents > max_incidents
-                ):
-                    abort_exc = IncidentBudgetExceeded(
-                        f"{total_incidents} incidents exceed the budget of "
-                        f"{max_incidents}; campaign statistics are no "
-                        f"longer trustworthy"
-                    )
-            elif kind == "fatal":
-                _, worker_id, index, error_type, detail = message
-                pool.retire(worker_id)
-                abort_exc = InjectionIncident(
-                    f"worker {worker_id} aborted on cell "
-                    f"{cells[index][0]}/{cells[index][1]}/{cells[index][2]}"
-                    f"-bit: {error_type}: {detail}"
-                )
-            elif kind == "bye" or kind == "stopped":
-                pool.retire(message[1])
-    except KeyboardInterrupt:
-        # Graceful drain: let every worker finish its current sample,
-        # flush its final mid-cell checkpoint, and exit; persist whatever
-        # arrives so --resume continues bit-identically.
-        stop_event.set()
-        _drain_for_checkpoints(result_queue, pool, store, keys,
-                               live_partials, pending_done,
-                               telemetry=(parent_tel, cell_deltas,
-                                          worker_deltas))
-        if store is not None:
-            store.compact()
-        raise
-    finally:
-        stop_event.set()
-        pool.shutdown()
-        if parent_tel is not None:
-            # Workers flush their remaining telemetry (batch spans, queue
-            # waits) on the shutdown "None" before exiting; shutdown() has
-            # joined them, so everything is in the queue by now.
-            _collect_leftover_telemetry(
-                result_queue, parent_tel, cell_deltas, worker_deltas,
-                pending_done,
-            )
-            # Canonical-order merge: same input order every run, and the
-            # merge operators themselves are order-independent — either
-            # property alone makes merged counters deterministic.
-            for index in sorted(cell_deltas):
-                parent_tel.metrics.merge_dict(cell_deltas[index])
-            for delta in worker_deltas:
-                parent_tel.metrics.merge_dict(delta)
-
-    if abort_exc is not None:
-        if store is not None:
-            store.compact()
-        raise abort_exc
-    return CampaignResult(
-        [results[i] for i in range(total)],
-        incidents=lost_sample_incidents,
+    if _crash_spec is not None and chaos is None:
+        workload, component, cardinality = _crash_spec["cell"]
+        chaos = ChaosSpec(events=(ChaosEvent(
+            "kill", workload, component, cardinality, ordinal=0,
+            exit_code=_crash_spec.get("exit_code", 64),
+            flag=_crash_spec["flag"],
+        ),))
+    scheduler = _Scheduler(
+        config, jobs, progress, store, core_cfg, supervisor,
+        checkpoint_every, resume, verify, backend,
+        policy if policy is not None else ResiliencePolicy(), chaos,
     )
-
-
-def _collect_leftover_telemetry(
-    result_queue,
-    parent_tel,
-    cell_deltas: dict[int, dict],
-    worker_deltas: list[dict],
-    pending_done: set[int],
-) -> None:
-    """Absorb telemetry still queued after every worker has exited.
-
-    Only telemetry is kept: any other message type surviving to this
-    point belongs to work that was already merged, rescheduled, or
-    abandoned.  One Empty is conclusive — the senders are gone.
-    """
-    while True:
-        try:
-            message = result_queue.get(timeout=0.2)
-        except queue_module.Empty:
-            return
-        if message[0] != "telemetry":
-            continue
-        _, worker_id, index, delta, events = message
-        if index is None:
-            worker_deltas.append(delta)
-        elif index in pending_done:
-            cell_deltas[index] = delta
-        parent_tel.tracer.adopt(events, tid=worker_id + 1)
-
-
-def _drain_for_checkpoints(
-    result_queue,
-    pool: _Pool,
-    store: CampaignStore | None,
-    keys: dict[int, str],
-    live_partials: dict[int, dict],
-    pending_done: set[int],
-    timeout: float = 10.0,
-    telemetry: tuple | None = None,
-) -> None:
-    """Absorb in-flight messages while stopping workers wind down.
-
-    Everything durable that arrives during the drain — final mid-cell
-    checkpoints, cells that completed in the shutdown window — is written
-    to the store, so an interrupted ``--jobs N`` run loses at most the
-    unsampled remainder of each worker's current injection.  *telemetry*
-    (when given: ``(parent_tel, cell_deltas, worker_deltas)``) collects
-    workers' final telemetry flushes, so the interrupted run's summary
-    still covers the work actually done.
-    """
-    deadline = time.monotonic() + timeout
-    while pool.live_ids() and time.monotonic() < deadline:
-        try:
-            message = result_queue.get(timeout=_POLL_INTERVAL)
-        except queue_module.Empty:
-            for worker_id in pool.dead_ids():
-                pool.retire(worker_id)
-            continue
-        kind = message[0]
-        if kind == "partial":
-            _, _, index, key, state = message
-            live_partials[index] = state
-            if store is not None and index in pending_done:
-                store.put_partial(key, CellCheckpoint.from_dict(state))
-        elif kind == "cell":
-            _, _, index, data = message
-            if store is not None and index in pending_done:
-                store.put(keys[index], CellResult.from_dict(data))
-            pending_done.discard(index)
-        elif kind == "telemetry" and telemetry is not None:
-            _, worker_id, index, delta, events = message
-            parent_tel, cell_deltas, worker_deltas = telemetry
-            if parent_tel is not None:
-                if index is None:
-                    worker_deltas.append(delta)
-                elif index in pending_done:
-                    cell_deltas[index] = delta
-                parent_tel.tracer.adopt(events, tid=worker_id + 1)
-        elif kind == "ready":
-            # A worker idling between batches: release it immediately.
-            worker_id = message[1]
-            if worker_id not in pool.finished:
-                pool.task_queues[worker_id].put(None)
-        elif kind in ("stopped", "bye"):
-            pool.retire(message[1])
+    return scheduler.run()

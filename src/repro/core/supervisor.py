@@ -60,11 +60,18 @@ class Incident:
     """One contained infra failure, with everything needed to reproduce it.
 
     ``kind`` is ``"exception"`` for an unexpected Python error,
-    ``"watchdog"`` for a step-budget trip (simulator livelock), and
-    ``"worker-crash"`` for a parallel-campaign worker process that died
-    outright (see :mod:`repro.core.parallel`; ``sample_index`` and
-    ``inject_cycle`` are ``-1`` there — the cell was rescheduled, not
-    lost).  ``mask`` is the serialised
+    ``"watchdog"`` for a step-budget trip (simulator livelock), and for
+    the parallel executor fabric (see :mod:`repro.core.parallel`):
+    ``"worker-crash"`` (a worker process died outright),
+    ``"worker-hang"`` (a silent or over-deadline worker was killed after
+    ignoring a soft cancel), ``"retry"`` (a cell was rescheduled — pure
+    bookkeeping, never counted against the incident budget),
+    ``"poison-cell"`` (a cell exhausted its attempt budget and was
+    quarantined) and ``"degraded"`` (the worker pool shrank to nothing
+    and the scheduler fell back to in-process serial execution).
+    Fabric incidents carry ``sample_index``/``inject_cycle`` of ``-1``
+    and machine-readable context in ``details`` (attempt number, backoff
+    delay, cause, lost telemetry deltas...).  ``mask`` is the serialised
     :class:`~repro.core.faults.FaultMask` when the failure happened after
     mask generation, else ``None`` (the cell seed + sample index still
     reproduce it deterministically).
@@ -81,9 +88,10 @@ class Incident:
     error_type: str
     message: str
     traceback: str
+    details: dict | None = None
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "kind": self.kind,
             "workload": self.workload,
             "component": self.component,
@@ -96,6 +104,9 @@ class Incident:
             "message": self.message,
             "traceback": self.traceback,
         }
+        if self.details is not None:
+            data["details"] = self.details
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Incident":
@@ -111,6 +122,7 @@ class Incident:
             error_type=data["error_type"],
             message=data["message"],
             traceback=data.get("traceback", ""),
+            details=data.get("details"),
         )
 
     def cell_label(self) -> str:

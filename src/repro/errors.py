@@ -112,6 +112,39 @@ class WorkerCrash(InjectionIncident):
     """
 
 
+class WorkerHang(InjectionIncident):
+    """A parallel campaign worker stopped making progress.
+
+    Raised conceptually (and journalled as kind ``worker-hang``) when a
+    worker with in-flight cells goes silent past the resilience policy's
+    hang timeout, or blows through a cell's wall-clock deadline, and does
+    not respond to a soft cancel within the grace period.  The scheduler
+    kills the worker and reschedules its cells from the last streamed
+    checkpoint; the exception type exists for ``--strict`` escalation.
+    """
+
+
+class PoisonCell(InjectionIncident):
+    """A cell repeatedly killed or hung every worker that touched it.
+
+    After ``max_attempts`` failed executions the scheduler quarantines the
+    cell (journalled as kind ``poison-cell``): whatever samples its last
+    streamed checkpoint holds become the cell's result, the missing
+    samples are counted as lost, and the campaign continues.  The
+    exception surfaces only under ``--strict``/``--max-incidents``.
+    """
+
+
+class ChaosAbort(ReproError):
+    """A chaos-harness event simulating a hard process death fired.
+
+    Raised by the chaos store wrapper after deliberately tearing a
+    journal append, at exactly the point where a real kill would have
+    interrupted the write.  The chaos driver catches it, reopens the
+    store from disk (as a restarted process would) and resumes.
+    """
+
+
 class WatchdogTimeout(InjectionIncident):
     """The per-injection step-count watchdog tripped.
 
