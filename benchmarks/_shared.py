@@ -15,6 +15,10 @@ one set of simulations.  Scale knobs (environment variables):
 * ``REPRO_TELEMETRY`` — set to ``0`` to disable campaign telemetry
   (default on; the run's wall clock, samples/sec and metric summary are
   stamped into ``benchmarks/output/BENCH_campaign.json``).
+* ``REPRO_PRUNE`` — set to ``1`` to enable liveness mask pruning
+  (``repro.core.liveness``); results are byte-identical to an unpruned
+  run — same store cache keys — only faster, and each bench record gains
+  a ``pruned_fraction`` stamp.
 
 The cell cache lives in ``benchmarks/.cache/campaign_store.json`` (snapshot
 + write-ahead journal) and is keyed by the exact cell parameters plus a
@@ -84,6 +88,7 @@ def shared_campaign(progress: bool = True) -> CampaignResult:
         )
 
     jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    prune = os.environ.get("REPRO_PRUNE", "0") == "1"
     telemetry = None
     if os.environ.get("REPRO_TELEMETRY", "1") != "0":
         telemetry = obs.enable()
@@ -91,7 +96,7 @@ def shared_campaign(progress: bool = True) -> CampaignResult:
     try:
         result = run_campaign(
             config, progress=report if progress else None, store=store,
-            supervisor=supervisor, resume=True, jobs=jobs,
+            supervisor=supervisor, resume=True, jobs=jobs, prune=prune,
         )
     finally:
         wall = time.perf_counter() - begin
@@ -151,6 +156,12 @@ def append_bench_record(
                 record.setdefault(
                     "samples_per_sec", round(samples / wall_seconds, 2)
                 )
+        pruned = summary["counters"].get("sim.pruned.total", 0)
+        undecided = summary["counters"].get("sim.undecided.total", 0)
+        if pruned + undecided:
+            record.setdefault(
+                "pruned_fraction", round(pruned / (pruned + undecided), 4)
+            )
         record.setdefault(
             "telemetry",
             {

@@ -1,0 +1,116 @@
+"""P2 — samples/sec speedup from liveness-based mask pruning.
+
+Runs one cell per injectable component twice — plain and with
+``prune=True`` — on the same workload and appends the per-component
+timings, speedups and pruned fractions to
+``benchmarks/output/BENCH_liveness.json`` (a trajectory file: one record
+per invocation, so speedup regressions stay visible across commits).
+
+The liveness trace is built once before any timed region and its build
+cost is recorded separately (``trace_build_seconds``): the trace is a
+per-workload artifact amortised over every cell of a campaign, so folding
+it into one cell's timing would misstate both numbers.
+
+Scale knob: ``REPRO_LIVENESS_SAMPLES`` (default 30 injections/cell).
+
+The equivalence assertion runs unconditionally; the ≥3× speedup
+acceptance bar applies to the best cache-family cell (l1d/l1i/l2), where
+large arrays make most masks provably dead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _shared import OUTPUT_DIR, append_bench_record
+
+from repro import obs
+from repro.core.campaign import CampaignConfig, run_cell
+from repro.core.liveness import liveness_for
+from repro.cpu.system import COMPONENT_NAMES
+from repro.workloads import get_workload
+
+TRAJECTORY_PATH = OUTPUT_DIR / "BENCH_liveness.json"
+
+LIVENESS_WORKLOAD = "crc32"
+CACHE_FAMILY = ("l1d", "l1i", "l2")
+
+
+def _liveness_config() -> CampaignConfig:
+    return CampaignConfig(
+        workloads=(LIVENESS_WORKLOAD,),
+        components=COMPONENT_NAMES,
+        cardinalities=(1,),
+        samples=int(os.environ.get("REPRO_LIVENESS_SAMPLES", "30")),
+        seed=0,
+    )
+
+
+def test_liveness_pruning_speedup():
+    config = _liveness_config()
+
+    # Warm the liveness cache outside the timed regions, recording the
+    # one-off trace build cost explicitly.
+    begin = time.perf_counter()
+    liveness_for(get_workload(LIVENESS_WORKLOAD))
+    trace_build = time.perf_counter() - begin
+
+    per_component: dict[str, dict] = {}
+    for component in COMPONENT_NAMES:
+        begin = time.perf_counter()
+        plain = run_cell(LIVENESS_WORKLOAD, component, 1, config)
+        plain_seconds = time.perf_counter() - begin
+
+        telemetry = obs.enable()
+        begin = time.perf_counter()
+        pruned = run_cell(
+            LIVENESS_WORKLOAD, component, 1, config, prune=True
+        )
+        pruned_seconds = time.perf_counter() - begin
+        counters = {
+            name: counter.value
+            for name, counter in telemetry.metrics.counters.items()
+        }
+        obs.disable()
+
+        # Pruning must never change the result — only the wall clock.
+        assert pruned.counts == plain.counts, (
+            f"{component}: pruned counts diverged from plain"
+        )
+        pruned_n = counters.get("sim.pruned." + component, 0)
+        per_component[component] = {
+            "plain_seconds": round(plain_seconds, 3),
+            "pruned_seconds": round(pruned_seconds, 3),
+            "speedup": round(plain_seconds / pruned_seconds, 2)
+            if pruned_seconds > 0 else None,
+            "pruned_fraction": round(pruned_n / config.samples, 4),
+        }
+
+    append_bench_record(
+        "liveness",
+        {
+            "workload": LIVENESS_WORKLOAD,
+            "samples": config.samples,
+            "trace_build_seconds": round(trace_build, 3),
+            "per_component": per_component,
+        },
+        wall_seconds=sum(
+            entry["plain_seconds"] + entry["pruned_seconds"]
+            for entry in per_component.values()
+        ),
+    )
+    summary = {
+        component: f"{entry['speedup']}x"
+        for component, entry in per_component.items()
+    }
+    print(f"\nliveness pruning: {summary} "
+          f"(trace build {trace_build:.2f}s)")
+
+    best_cache = max(
+        per_component[c]["speedup"] or 0.0 for c in CACHE_FAMILY
+    )
+    assert best_cache >= 3.0, (
+        f"best cache-family speedup {best_cache:.2f}x < 3x "
+        f"({ {c: per_component[c]['speedup'] for c in CACHE_FAMILY} })"
+    )

@@ -395,6 +395,55 @@ def _checkpoints_for(
     return cached
 
 
+#: One in this many pruned-Masked verdicts is cross-checked end-to-end by
+#: full simulation under ``--verify`` (deterministically selected by mask
+#: hash, so the audited subset is stable across runs and job counts).
+PRUNE_AUDIT_ONE_IN = 8
+
+
+def _prune_audit_selected(workload_name: str, mask: FaultMask,
+                          inject_cycle: int) -> bool:
+    blob = f"{workload_name}:{mask.component}:{mask.bits}:{inject_cycle}"
+    digest = hashlib.sha256(blob.encode()).digest()
+    return digest[0] % PRUNE_AUDIT_ONE_IN == 0
+
+
+def _audit_pruned_sample(
+    workload: Workload,
+    component: str,
+    mask: FaultMask,
+    inject_cycle: int,
+    golden: RunResult,
+    core_cfg: CoreConfig,
+    checkpoints: "CheckpointedWorkload | None",
+    max_steps: int | None,
+) -> None:
+    """Fully simulate a fault the pruner declared Masked; raise if not.
+
+    The differential backstop of ``--verify`` campaigns: any unsound prune
+    decision becomes a :class:`~repro.errors.VerificationError` (contained
+    as an incident by the supervisor, fatal in --strict/CI).
+    """
+    from repro.errors import VerificationError
+
+    max_cycles = TIMEOUT_FACTOR * golden.cycles
+    if checkpoints is not None:
+        system = checkpoints.system_at(inject_cycle)
+    else:
+        system = System(core_cfg)
+        system.load(workload.program())
+    system.run_until(inject_cycle, max_cycles, max_steps=max_steps)
+    inject(system, mask)
+    result = system.run(max_cycles, max_steps=max_steps)
+    verdict = classify(result, golden)
+    if verdict is not FaultClass.MASKED:
+        raise VerificationError(
+            f"liveness pruner misclassified {workload.name}/{component} "
+            f"mask {mask.bits} @ cycle {inject_cycle} as Masked; full "
+            f"simulation says {verdict.value}"
+        )
+
+
 def run_one_injection(
     workload: Workload,
     component: str,
@@ -406,6 +455,7 @@ def run_one_injection(
     max_steps: int | None = None,
     trace: dict | None = None,
     verify: bool = False,
+    liveness=None,
 ) -> tuple[FaultClass, RunResult, FaultMask]:
     """One complete injection experiment; see the module docstring.
 
@@ -418,6 +468,13 @@ def run_one_injection(
     Masked outcomes compared against the ISA-level reference); the checks
     consume no randomness and never touch simulation state, so the
     returned verdict/result/mask are bit-identical either way.
+    *liveness* (a :class:`~repro.core.liveness.LivenessTrace`) enables
+    mask pruning: a fault whose flipped bits are all provably dead during
+    the golden run is classified Masked without simulating anything —
+    the faulty run would be bit-identical to the golden run — and only
+    undecided faults fall through to full simulation.  The mask is drawn
+    from the same RNG stream against the recorded geometry, so pruned
+    results are byte-identical to unpruned ones.
     """
     golden = golden_run(workload, core_cfg)
     max_cycles = TIMEOUT_FACTOR * golden.cycles
@@ -426,6 +483,33 @@ def run_one_injection(
     # outcome is bit-identical with telemetry on or off.
     tel = obs.active()
     clock = time.perf_counter
+    mask = None
+    if liveness is not None:
+        begin = clock() if tel is not None else 0.0
+        mask = generator.generate(
+            liveness.target_geometry(component), cardinality
+        )
+        if trace is not None:
+            trace["mask"] = mask
+        if liveness.classify(mask, inject_cycle):
+            if tel is not None:
+                tel.metrics.counter("sim.pruned." + component).inc()
+                tel.metrics.counter("sim.pruned.total").inc()
+                tel.metrics.histogram("time.phase.prune").observe(
+                    clock() - begin
+                )
+                tel.metrics.counter("sim.injections").inc()
+            if verify and _prune_audit_selected(
+                workload.name, mask, inject_cycle
+            ):
+                _audit_pruned_sample(
+                    workload, component, mask, inject_cycle, golden,
+                    core_cfg, checkpoints, max_steps,
+                )
+            return FaultClass.MASKED, golden, mask
+        if tel is not None:
+            tel.metrics.counter("sim.undecided." + component).inc()
+            tel.metrics.counter("sim.undecided.total").inc()
     begin = clock() if tel is not None else 0.0
     if checkpoints is not None:
         system = checkpoints.system_at(inject_cycle)
@@ -435,11 +519,12 @@ def run_one_injection(
     if tel is not None:
         restored = clock()
         tel.metrics.histogram("time.phase.restore").observe(restored - begin)
-    mask = generator.generate(
-        system.injectable_targets()[component], cardinality
-    )
-    if trace is not None:
-        trace["mask"] = mask
+    if mask is None:
+        mask = generator.generate(
+            system.injectable_targets()[component], cardinality
+        )
+        if trace is not None:
+            trace["mask"] = mask
     reached = system.run_until(inject_cycle, max_cycles, max_steps=max_steps)
     if not reached:  # pragma: no cover - golden prefix is deterministic
         raise ConfigError(
@@ -543,6 +628,7 @@ def run_cell(
     resume: bool = True,
     stop: Callable[[], bool] | None = None,
     verify: bool = False,
+    prune: bool = False,
 ) -> CellResult:
     """Run all of one cell's injections.
 
@@ -551,6 +637,12 @@ def run_cell(
     config), and every sample adds the oracle checks described under
     :func:`run_one_injection`.  Verification consumes no randomness, so a
     verified cell's counts are byte-identical to an unverified one's.
+
+    With *prune*, a liveness trace of the golden run (cached per workload +
+    platform, see :mod:`repro.core.liveness`) classifies provably-dead
+    fault masks as Masked without simulating them; undecided masks take
+    the ordinary path.  Pruning is conservative by construction, so the
+    cell's counts are byte-identical to an unpruned run's — only faster.
 
     With *store* and *cell_key*, mid-cell progress is checkpointed every
     *checkpoint_every* samples and (when *resume* is true) picked up again
@@ -577,6 +669,11 @@ def run_cell(
     )
     cycle_rng = random.Random(f"repro-cycles:{cell_seed}")
     checkpoints = _checkpoints_for(workload, core_cfg)
+    liveness = None
+    if prune:
+        from repro.core.liveness import liveness_for
+
+        liveness = liveness_for(workload, core_cfg)
     cell_span = obs.span(
         "cell", workload=workload_name, component=component,
         cardinality=cardinality,
@@ -611,12 +708,13 @@ def run_cell(
                     workload, component, generator, cardinality, inject_cycle,
                     core_cfg, checkpoints=checkpoints,
                     cell_seed=cell_seed, sample_index=index,
-                    verify=verify,
+                    verify=verify, liveness=liveness,
                 )
             else:
                 fault_class, _, _ = run_one_injection(
                     workload, component, generator, cardinality, inject_cycle,
                     core_cfg, checkpoints=checkpoints, verify=verify,
+                    liveness=liveness,
                 )
             if fault_class is not None:
                 counts.add(fault_class)
@@ -682,6 +780,7 @@ def run_campaign(
     resume: bool = True,
     jobs: int = 1,
     verify: bool = False,
+    prune: bool = False,
     backend: str = "multiprocessing",
     policy=None,
 ) -> CampaignResult:
@@ -694,7 +793,9 @@ def run_campaign(
     :class:`~repro.core.executor.ResiliencePolicy`) tunes the fabric's
     failure handling; both are ignored for serial runs.  *verify* turns
     on the oracle cross-checks of :func:`run_cell` for every cell; results
-    stay byte-identical to a non-verify run.
+    stay byte-identical to a non-verify run.  *prune* turns on liveness
+    mask pruning (see :func:`run_cell`); results again stay byte-identical,
+    which is why neither flag enters the cell cache key.
     """
     if jobs > 1:
         from repro.core.parallel import run_campaign_parallel
@@ -703,7 +804,7 @@ def run_campaign(
             config, jobs=jobs, progress=progress, store=store,
             core_cfg=core_cfg, supervisor=supervisor,
             checkpoint_every=checkpoint_every, resume=resume,
-            verify=verify, backend=backend, policy=policy,
+            verify=verify, prune=prune, backend=backend, policy=policy,
         )
     cells = config.cells()
     results: list[CellResult] = []
@@ -715,7 +816,7 @@ def run_campaign(
                 workload, component, cardinality, config, core_cfg,
                 supervisor=supervisor, store=store, cell_key=key,
                 checkpoint_every=checkpoint_every, resume=resume,
-                verify=verify,
+                verify=verify, prune=prune,
             )
             if store is not None:
                 store.put(key, cached)

@@ -14,6 +14,8 @@ Examples::
     repro-campaign golden
     repro-campaign static --artifact table6
     repro-campaign run --samples 20 --verify   # oracle-checked campaign
+    repro-campaign run --samples 50 --prune-masked   # liveness-pruned, same bytes
+    repro-campaign run --adaptive --ci-target 0.02   # CI-driven early stopping
     repro-campaign fuzz --programs 25 --seed 0
 """
 
@@ -151,6 +153,26 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         "state, and enable per-commit pipeline invariants (slower; "
         "results are byte-identical to a non-verify run)",
     )
+    parser.add_argument(
+        "--prune-masked", action="store_true",
+        help="classify faults whose flipped bits are provably dead during "
+        "the golden run as Masked without simulating them (liveness "
+        "pruning; results are byte-identical to an unpruned run, and "
+        "--verify audits a sample of pruned verdicts end-to-end)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="stop each cell early once its AVF confidence interval "
+        "reaches --ci-target and reallocate the freed samples to the "
+        "widest intervals; --samples becomes a per-cell budget ceiling "
+        "(incompatible with --store/--resume; runs unsupervised)",
+    )
+    parser.add_argument(
+        "--ci-target", type=float, default=0.02, metavar="E",
+        help="target Wilson half-width for --adaptive (99%% confidence; "
+        "default 0.02; 0 disables early stopping, reproducing the "
+        "exact-replay campaign byte-for-byte)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
@@ -235,6 +257,15 @@ def _install_graceful_signals() -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     _install_graceful_signals()
+    if args.adaptive and (args.store or args.resume):
+        # Adaptive cells have no fixed sample count, so they cannot share
+        # the store's exact-parameter cache keys.
+        print(
+            "error: --adaptive is incompatible with --store/--resume "
+            "(adaptive cells have no fixed sample count to cache under)",
+            file=sys.stderr,
+        )
+        return 2
     store = CampaignStore(args.store) if args.store else None
     if store is not None and store.quarantined is not None:
         print(
@@ -270,17 +301,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         core_cfg = replace(DEFAULT_CONFIG, check_invariants=True)
 
     try:
-        result = run_campaign(
-            config, progress=progress, store=store,
-            core_cfg=core_cfg,
-            supervisor=supervisor,
-            checkpoint_every=args.checkpoint_every or None,
-            resume=args.resume,
-            jobs=args.jobs,
-            verify=args.verify,
-            backend=args.backend,
-            policy=_policy_from_args(args),
-        )
+        if args.adaptive:
+            from repro.core.adaptive import run_campaign_adaptive
+
+            adaptive = run_campaign_adaptive(
+                config, args.ci_target,
+                jobs=args.jobs, progress=progress,
+                events=lambda message: print(message, file=sys.stderr),
+                core_cfg=core_cfg,
+                verify=args.verify, prune=args.prune_masked,
+            )
+            result = adaptive.result
+            print(
+                f"adaptive: {adaptive.spent_samples:,} of "
+                f"{adaptive.baseline_samples:,} budgeted samples spent "
+                f"({adaptive.saved_fraction:.0%} saved)",
+                file=sys.stderr,
+            )
+        else:
+            result = run_campaign(
+                config, progress=progress, store=store,
+                core_cfg=core_cfg,
+                supervisor=supervisor,
+                checkpoint_every=args.checkpoint_every or None,
+                resume=args.resume,
+                jobs=args.jobs,
+                verify=args.verify,
+                prune=args.prune_masked,
+                backend=args.backend,
+                policy=_policy_from_args(args),
+            )
     except InjectionIncident as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         if journal.path is not None:

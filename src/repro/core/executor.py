@@ -139,6 +139,7 @@ class WorkerSpec:
     checkpoint_every: int | None
     telemetry_enabled: bool
     verify: bool
+    prune: bool = False
     heartbeat_interval: float = 0.5
     chaos: ChaosSpec | None = None
 
@@ -341,6 +342,7 @@ def worker_loop(
                         checkpoint_every=spec.checkpoint_every, resume=True,
                         stop=probe,
                         verify=spec.verify,
+                        prune=spec.prune,
                     )
                 except CampaignInterrupted:
                     shipper.ship()

@@ -1,0 +1,425 @@
+"""Liveness-based fault-mask pruning (golden-run dead-bit analysis).
+
+A fault is Masked iff no flipped bit is *consumed* (read) before it is
+overwritten, evicted or invalidated — a dataflow fact provable from the
+golden run alone, the dead-data reasoning of Qureshi et al.'s "Memory
+Vulnerability: A Case for Delaying Error Reporting".  This module records,
+during one dedicated instrumented replay of the (cached) golden run,
+per-component bit-granular lifetime traces:
+
+* **caches** (``l1d``/``l1i``/``l2``): per (line, byte) timelines.  Reads
+  consume the accessed byte range, line fills from below consume the whole
+  source line and kill the whole destination line, dirty-victim writebacks
+  consume the victim line, stores kill the written range.  Flips live in
+  the data array only (tags/valid/dirty are not injectable), so the
+  hit/miss stream of a faulty run is identical to the golden one and byte
+  timelines decide everything.
+* **TLBs** (``itlb``/``dtlb``): per-entry timelines (hit = consume,
+  refill = kill) plus each entry's birth cycle.  Decidability is
+  field-sensitive — see :meth:`LivenessTrace.classify`.
+* **register file**: per-register timelines; operand/misc reads consume,
+  writebacks and misc writes kill the whole 32-bit word.
+
+:meth:`LivenessTrace.classify` then decides an (mask, inject-cycle) fault
+in O(log n) per flipped bit: if every bit is provably dead, the faulty run
+is bit-identical to the golden run and the sample is Masked without
+simulating anything.  The classifier is *conservative*: any bit it cannot
+prove dead falls back to full simulation, so pruned campaign results are
+byte-identical to unpruned ones — the invariant CI enforces with ``cmp``.
+
+Traces are built once per (workload, platform) on a fresh system with
+instance-level instrumentation hooks (the trace system is never deep-copied
+and never injected into), sanity-checked against the golden run, and kept
+in a small LRU like the checkpoint cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.campaign import GOLDEN_MAX_CYCLES, _BoundedCache, golden_run
+from repro.core.faults import FaultMask
+from repro.errors import ConfigError
+from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
+from repro.cpu.system import System
+from repro.mem.tlb import VPN_SHIFT
+from repro.workloads.base import Workload
+
+#: Timeline event kinds.  READ = the bit was consumed (its value reached
+#: the program or a lower memory level); KILL = the bit was overwritten
+#: wholesale (refill, writeback target, store, register write).
+READ = 0
+KILL = 1
+
+#: TLB entry layout (see mem/tlb.py): bits [1:0] are unarchitected spares,
+#: [17:2] hold permissions + ppn (payload consumed only on translation
+#: hits), [30:18] the vpn and [31] the valid bit (both consulted by match
+#: and replacement logic, so never provably dead while the entry lives).
+_TLB_SPARE_COLS = 2
+_TLB_VALID_COL = 31
+
+LIVENESS_CACHE_SIZE = 2
+
+
+class _Timeline:
+    """Program-ordered, run-compressed event timelines keyed by cell.
+
+    Per key two parallel lists: non-decreasing event cycles and the event
+    kinds.  Consecutive same-kind events collapse to the last of the run —
+    verdict-preserving, because the first event at-or-after any cycle has
+    the same kind either way.  Kinds are *not* folded into a sortable
+    (cycle, kind) integer on purpose: a fill-then-read executes KILL and
+    READ at the same cycle in that order, and program order is the order
+    that matters.
+    """
+
+    __slots__ = ("cycles", "kinds", "first")
+
+    def __init__(self) -> None:
+        self.cycles: dict[int, list[int]] = {}
+        self.kinds: dict[int, bytearray] = {}
+        self.first: dict[int, int] = {}
+
+    def record(self, key: int, cycle: int, kind: int) -> None:
+        kinds = self.kinds.get(key)
+        if kinds is None:
+            self.cycles[key] = [cycle]
+            self.kinds[key] = bytearray((kind,))
+            self.first[key] = cycle
+            return
+        if kinds[-1] == kind:
+            self.cycles[key][-1] = cycle
+        else:
+            self.cycles[key].append(cycle)
+            kinds.append(kind)
+
+    def verdict(self, key: int, cycle: int) -> int | None:
+        """Kind of the first event at-or-after *cycle*, or None."""
+        cycles = self.cycles.get(key)
+        if cycles is None:
+            return None
+        index = bisect_left(cycles, cycle)
+        if index == len(cycles):
+            return None
+        return self.kinds[key][index]
+
+    def born_before(self, key: int, cycle: int) -> bool:
+        """True iff *key* saw any event strictly before *cycle*."""
+        first = self.first.get(key)
+        return first is not None and first < cycle
+
+    def event_count(self) -> int:
+        return sum(len(kinds) for kinds in self.kinds.values())
+
+
+@dataclass(frozen=True)
+class _Geometry:
+    """Injection geometry stand-in: lets the mask generator draw against a
+    recorded trace without materialising a live system, preserving the
+    exact RNG stream of the unpruned path."""
+
+    inject_name: str
+    inject_rows: int
+    inject_cols: int
+
+
+class LivenessTrace:
+    """Lifetime timelines of one (workload, platform) golden run."""
+
+    def __init__(self, workload_name: str, golden_cycles: int) -> None:
+        self.workload = workload_name
+        self.golden_cycles = golden_cycles
+        self.timelines: dict[str, _Timeline] = {}
+        self.geometry: dict[str, _Geometry] = {}
+        self.line_size: dict[str, int] = {}
+        self.live_bits: dict[str, int] = {}
+
+    def target_geometry(self, component: str) -> _Geometry:
+        return self.geometry[component]
+
+    def classify(self, mask: FaultMask, inject_cycle: int) -> bool:
+        """True iff every flipped bit is provably dead at *inject_cycle*.
+
+        False means "undecided", never "vulnerable": the caller must fall
+        back to full simulation, which keeps pruned results byte-identical
+        to unpruned ones.
+        """
+        component = mask.component
+        timeline = self.timelines.get(component)
+        if timeline is None:  # unknown component: never prune
+            return False
+        if component in ("l1d", "l1i", "l2"):
+            return self._classify_cache(timeline, component, mask, inject_cycle)
+        if component in ("itlb", "dtlb"):
+            return self._classify_tlb(timeline, mask, inject_cycle)
+        if component == "regfile":
+            return self._classify_regfile(timeline, mask, inject_cycle)
+        return False
+
+    def _classify_cache(
+        self, timeline: _Timeline, component: str,
+        mask: FaultMask, inject_cycle: int,
+    ) -> bool:
+        # Byte granularity: flips never touch tags/valid/dirty, so the
+        # hit/miss stream is unchanged and a byte is dead unless its next
+        # event is a read.
+        line_size = self.line_size[component]
+        for row, col in mask.bits:
+            kind = timeline.verdict(row * line_size + (col >> 3), inject_cycle)
+            if kind == READ:
+                return False
+        return True
+
+    def _classify_tlb(
+        self, timeline: _Timeline, mask: FaultMask, inject_cycle: int
+    ) -> bool:
+        for row, col in mask.bits:
+            if col < _TLB_SPARE_COLS:
+                continue  # spare bits back no architected state
+            if not timeline.born_before(row, inject_cycle):
+                # Entry invalid at injection time.  Setting its valid bit
+                # could fabricate a match from garbage — undecided; every
+                # other bit is unreachable until the refill overwrites it.
+                if col == _TLB_VALID_COL:
+                    return False
+                continue
+            if col >= VPN_SHIFT:
+                # vpn/valid of a live entry feed the match/replacement
+                # logic on every lookup — not provably dead.
+                return False
+            kind = timeline.verdict(row, inject_cycle)
+            if kind == READ:
+                return False  # next event consumes the payload (hit)
+        return True
+
+    def _classify_regfile(
+        self, timeline: _Timeline, mask: FaultMask, inject_cycle: int
+    ) -> bool:
+        # Register writes replace the whole 32-bit word, so a register is
+        # dead unless its next event is an operand/misc read.
+        for row, _col in mask.bits:
+            if timeline.verdict(row, inject_cycle) == READ:
+                return False
+        return True
+
+    def stats(self) -> dict[str, int]:
+        """Recorded (compressed) event counts per component."""
+        return {
+            name: timeline.event_count()
+            for name, timeline in sorted(self.timelines.items())
+        }
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation hooks (instance attributes shadow the bound methods; the
+# trace system is private to the builder, so nothing else observes them)
+# ---------------------------------------------------------------------------
+
+
+def _hook_cache(cache, core, timeline: _Timeline) -> None:
+    line_size = cache.line_size
+    assoc = cache.assoc
+
+    def record(idx: int, lo: int, hi: int, kind: int) -> None:
+        cycle = core.cycle
+        base = idx * line_size
+        for byte in range(lo, hi):
+            timeline.record(base + byte, cycle, kind)
+
+    orig_fill = cache._fill
+
+    def fill(set_idx, tag, line_addr):
+        # Victim identity and dirtiness must be read before the overwrite.
+        victim = set_idx * assoc + cache._lru[set_idx][0]
+        writeback = cache._valid[victim] and cache._dirty[victim]
+        if writeback:
+            record(victim, 0, line_size, READ)  # data escapes to below
+        idx, latency = orig_fill(set_idx, tag, line_addr)
+        record(idx, 0, line_size, KILL)  # whole line overwritten
+        return idx, latency
+
+    cache._fill = fill
+
+    orig_read = cache.read
+
+    def read(paddr, length):
+        data, latency = orig_read(paddr, length)
+        idx, offset = cache.probe(paddr)
+        record(idx, offset, offset + length, READ)
+        return data, latency
+
+    cache.read = read
+
+    orig_read_word = cache.read_word
+
+    def read_word(paddr):
+        value, latency = orig_read_word(paddr)
+        idx, offset = cache.probe(paddr)
+        record(idx, offset, offset + 4, READ)
+        return value, latency
+
+    cache.read_word = read_word
+
+    orig_write = cache.write
+
+    def write(paddr, payload):
+        latency = orig_write(paddr, payload)
+        idx, offset = cache.probe(paddr)
+        record(idx, offset, offset + len(payload), KILL)
+        return latency
+
+    cache.write = write
+
+    orig_read_line = cache.read_line
+
+    def read_line(line_addr):
+        data, latency = orig_read_line(line_addr)
+        idx, _ = cache.probe(line_addr)
+        record(idx, 0, line_size, READ)
+        return data, latency
+
+    cache.read_line = read_line
+
+    orig_write_line = cache.write_line
+
+    def write_line(line_addr, payload):
+        latency = orig_write_line(line_addr, payload)
+        idx, _ = cache.probe(line_addr)
+        record(idx, 0, line_size, KILL)
+        return latency
+
+    cache.write_line = write_line
+
+
+def _hook_tlb(tlb, core, timeline: _Timeline) -> None:
+    orig_translate = tlb.translate
+
+    def translate(vaddr, access):
+        clock_before = tlb._clock
+        misses_before = tlb.misses
+        result = orig_translate(vaddr, access)
+        if tlb._clock != clock_before:
+            # Exactly one entry was touched: the one holding the new clock.
+            # A grown miss counter means a refill overwrote it (page-fault
+            # refills bump misses but not the clock and touch no entry).
+            row = tlb._last_use.index(tlb._clock)
+            kind = KILL if tlb.misses != misses_before else READ
+            timeline.record(row, core.cycle, kind)
+        return result
+
+    tlb.translate = translate
+
+
+class _RecordingValues(list):
+    """Drop-in ``PhysRegFile.values`` that logs every indexed access.
+
+    All simulator reads/writes go through integer indexing (operand fetch,
+    writeback, syscall return, misc save/restore), so ``__getitem__`` /
+    ``__setitem__`` cover every consumption and kill.
+    """
+
+    def __init__(self, values, core, timeline: _Timeline) -> None:
+        super().__init__(values)
+        self._core = core
+        self._timeline = timeline
+
+    def __getitem__(self, index):
+        if type(index) is int:
+            key = index if index >= 0 else index + len(self)
+            self._timeline.record(key, self._core.cycle, READ)
+        return list.__getitem__(self, index)
+
+    def __setitem__(self, index, value):
+        if type(index) is int:
+            key = index if index >= 0 else index + len(self)
+            self._timeline.record(key, self._core.cycle, KILL)
+        list.__setitem__(self, index, value)
+
+
+# ---------------------------------------------------------------------------
+# Trace construction + cache
+# ---------------------------------------------------------------------------
+
+
+def build_liveness_trace(
+    workload: Workload, core_cfg: CoreConfig = DEFAULT_CONFIG
+) -> LivenessTrace:
+    """Replay *workload*'s golden run once with lifetime instrumentation.
+
+    The instrumented replay is sanity-checked against the cached golden
+    result: any divergence (a hook perturbing simulation) aborts rather
+    than silently mispruning.
+    """
+    from repro.core.occupancy import snapshot_bits
+
+    golden = golden_run(workload, core_cfg)
+    # Observation-only knobs are canonicalised away like cell_key does:
+    # the traced machine must be the plain platform.
+    platform = dataclasses.replace(core_cfg, check_invariants=False)
+    system = System(platform)
+    system.load(workload.program())
+    trace = LivenessTrace(workload.name, golden.cycles)
+    core = system.core
+    for name, cache in (
+        ("l1d", system.l1d), ("l1i", system.l1i), ("l2", system.l2),
+    ):
+        timeline = _Timeline()
+        trace.timelines[name] = timeline
+        trace.geometry[name] = _Geometry(
+            cache.inject_name, cache.inject_rows, cache.inject_cols
+        )
+        trace.line_size[name] = cache.line_size
+        _hook_cache(cache, core, timeline)
+    for name, tlb in (("itlb", system.itlb), ("dtlb", system.dtlb)):
+        timeline = _Timeline()
+        trace.timelines[name] = timeline
+        trace.geometry[name] = _Geometry(
+            tlb.inject_name, tlb.inject_rows, tlb.inject_cols
+        )
+        _hook_tlb(tlb, core, timeline)
+    regfile_timeline = _Timeline()
+    trace.timelines["regfile"] = regfile_timeline
+    trace.geometry["regfile"] = _Geometry(
+        core.prf.inject_name, core.prf.inject_rows, core.prf.inject_cols
+    )
+    core.prf.values = _RecordingValues(core.prf.values, core, regfile_timeline)
+    result = system.run(max_cycles=GOLDEN_MAX_CYCLES)
+    if (
+        result.status != golden.status
+        or result.cycles != golden.cycles
+        or result.output != golden.output
+        or result.exit_code != golden.exit_code
+    ):
+        raise ConfigError(
+            f"liveness instrumentation perturbed the golden run of "
+            f"{workload.name}: {result.status}/{result.cycles} cycles vs "
+            f"{golden.status}/{golden.cycles}"
+        )
+    trace.live_bits = snapshot_bits(system)
+    return trace
+
+
+_LIVENESS_CACHE: _BoundedCache = _BoundedCache(LIVENESS_CACHE_SIZE)
+
+
+def liveness_for(
+    workload: Workload, core_cfg: CoreConfig = DEFAULT_CONFIG
+) -> LivenessTrace:
+    """Cached :func:`build_liveness_trace` (keyed like the golden cache)."""
+    tel = obs.active()
+    platform = dataclasses.replace(core_cfg, check_invariants=False)
+    key = (workload.name, platform)
+    cached = _LIVENESS_CACHE.get(key)
+    if cached is not None:
+        if tel is not None:
+            tel.metrics.counter("exec.lru.liveness.hits").inc()
+        return cached
+    if tel is not None:
+        tel.metrics.counter("exec.lru.liveness.misses").inc()
+    with obs.span("liveness-build", workload=workload.name):
+        cached = build_liveness_trace(workload, core_cfg)
+    _LIVENESS_CACHE.put(key, cached)
+    return cached

@@ -40,23 +40,59 @@ class OccupancyProfile:
     samples: list[OccupancySample] = field(default_factory=list)
 
     def mean(self, component: str) -> float:
-        if not self.samples:
+        # A component may be absent from some samples (e.g. a profiler
+        # that starts watching a structure mid-run); average over the
+        # samples that actually observed it.
+        observed = [
+            s.fractions[component]
+            for s in self.samples
+            if component in s.fractions
+        ]
+        if not observed:
             return 0.0
-        return sum(s.fractions[component] for s in self.samples) / len(
-            self.samples
-        )
+        return sum(observed) / len(observed)
 
     def peak(self, component: str) -> float:
-        if not self.samples:
-            return 0.0
-        return max(s.fractions[component] for s in self.samples)
+        observed = [
+            s.fractions[component]
+            for s in self.samples
+            if component in s.fractions
+        ]
+        return max(observed) if observed else 0.0
 
     def components(self) -> list[str]:
-        return sorted(self.samples[0].fractions) if self.samples else []
+        names: set[str] = set()
+        for sample in self.samples:
+            names.update(sample.fractions)
+        return sorted(names)
 
     def summary(self) -> dict[str, tuple[float, float]]:
         """component -> (mean, peak) occupancy."""
         return {c: (self.mean(c), self.peak(c)) for c in self.components()}
+
+
+def snapshot_bits(system: System) -> dict[str, int]:
+    """Absolute live-bit count per injectable component, right now.
+
+    The pruner's accounting unit: each component's occupancy fraction
+    times its injection geometry, expressed in bits (a cache line holds
+    ``line_size * 8``, a TLB entry 32, a register 32).
+    """
+    bits: dict[str, int] = {}
+    for name, cache in (
+        ("l1d", system.l1d), ("l1i", system.l1i), ("l2", system.l2),
+    ):
+        bits[name] = sum(cache._valid) * cache.line_size * 8
+    for name, tlb in (("itlb", system.itlb), ("dtlb", system.dtlb)):
+        valid = sum(1 for word in tlb.packed if word >> 31)
+        bits[name] = valid * tlb.inject_cols
+    core = system.core
+    live_regs = set(core.rename_map)
+    live_regs.update(
+        uop.dest for uop in core.rob if uop.dest >= 0 and not uop.squashed
+    )
+    bits["regfile"] = len(live_regs) * core.prf.inject_cols
+    return bits
 
 
 def snapshot_occupancy(system: System) -> dict[str, float]:

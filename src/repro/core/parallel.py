@@ -194,6 +194,7 @@ class _Scheduler:
         checkpoint_every: int | None,
         resume: bool,
         verify: bool,
+        prune: bool,
         backend_name: str,
         policy: ResiliencePolicy,
         chaos: ChaosSpec | None,
@@ -207,6 +208,7 @@ class _Scheduler:
         self.checkpoint_every = checkpoint_every
         self.resume = resume
         self.verify = verify
+        self.prune = prune
         self.backend_name = backend_name
         self.policy = policy
         self.chaos = chaos
@@ -868,7 +870,7 @@ class _Scheduler:
                     supervisor=self.supervisor,
                     store=store_arg, cell_key=self.keys[index],
                     checkpoint_every=self.checkpoint_every, resume=True,
-                    verify=self.verify,
+                    verify=self.verify, prune=self.prune,
                 )
             except CampaignInterrupted:  # pragma: no cover - no stop hook
                 return
@@ -997,6 +999,7 @@ class _Scheduler:
             watchdog=self.watchdog, checkpoint_every=self.checkpoint_every,
             telemetry_enabled=self.parent_tel is not None,
             verify=self.verify,
+            prune=self.prune,
             heartbeat_interval=self.policy.heartbeat_interval,
             chaos=self.chaos,
         )
@@ -1090,6 +1093,7 @@ def run_campaign_parallel(
     checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = True,
     verify: bool = False,
+    prune: bool = False,
     backend: str = "multiprocessing",
     policy: ResiliencePolicy | None = None,
     chaos: ChaosSpec | None = None,
@@ -1120,7 +1124,7 @@ def run_campaign_parallel(
         ),))
     scheduler = _Scheduler(
         config, jobs, progress, store, core_cfg, supervisor,
-        checkpoint_every, resume, verify, backend,
+        checkpoint_every, resume, verify, prune, backend,
         policy if policy is not None else ResiliencePolicy(), chaos,
     )
     return scheduler.run()

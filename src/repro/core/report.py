@@ -350,6 +350,9 @@ def render_telemetry(summary: dict) -> str:
     utilization = derived.get("worker_utilization")
     if utilization is not None:
         header += f" · worker utilization {utilization * 100:.0f}%"
+    pruning = derived.get("pruning_hit_rate")
+    if pruning is not None:
+        header += f" · {pruning * 100:.1f}% pruned"
     lines = [header, ""]
     counters = summary.get("counters", {})
     if counters:
@@ -359,10 +362,34 @@ def render_telemetry(summary: dict) -> str:
         ))
         lines.append("")
     gauges = summary.get("gauges", {})
-    if gauges:
+    # Adaptive per-cell gauges pair up (ci + samples per cell); render them
+    # as one table instead of interleaving them into the generic list.
+    adaptive_ci = {
+        name[len("adaptive.ci."):]: value
+        for name, value in gauges.items() if name.startswith("adaptive.ci.")
+    }
+    adaptive_samples = {
+        name[len("adaptive.samples."):]: value
+        for name, value in gauges.items()
+        if name.startswith("adaptive.samples.")
+    }
+    generic_gauges = {
+        name: value for name, value in gauges.items()
+        if not name.startswith("adaptive.")
+    }
+    if generic_gauges:
         lines.append(format_table(
             ["gauge", "value"],
-            [[name, f"{gauges[name]:g}"] for name in sorted(gauges)],
+            [[name, f"{generic_gauges[name]:g}"]
+             for name in sorted(generic_gauges)],
+        ))
+        lines.append("")
+    if adaptive_ci:
+        lines.append(format_table(
+            ["adaptive cell", "samples", "ci half-width"],
+            [[cell, f"{adaptive_samples.get(cell, 0):g}",
+              f"±{adaptive_ci[cell]:.4f}"]
+             for cell in sorted(adaptive_ci)],
         ))
         lines.append("")
     histograms = summary.get("histograms", {})

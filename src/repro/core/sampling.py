@@ -93,11 +93,77 @@ def binomial_confidence_interval(
     if method == "wilson":
         denom = 1 + t ** 2 / trials
         centre = (p + t ** 2 / (2 * trials)) / denom
-        half = t * math.sqrt(
-            p * (1 - p) / trials + t ** 2 / (4 * trials ** 2)
-        ) / denom
+        half = _wilson_half(p, trials, t)
         return max(0.0, centre - half), min(1.0, centre + half)
     raise ValueError(f"unknown method {method!r} (use 'wilson' or 'wald')")
+
+
+def _wilson_half(p: float, trials: float, t: float) -> float:
+    """Wilson score half-width for proportion *p* over *trials* samples."""
+    return t * math.sqrt(
+        p * (1 - p) / trials + t ** 2 / (4 * trials ** 2)
+    ) / (1 + t ** 2 / trials)
+
+
+def wilson_half_width(
+    successes: int, trials: int, confidence: float = 0.99
+) -> float:
+    """Half-width of the Wilson interval around ``successes/trials``.
+
+    The adaptive campaign driver's stopping metric: one number instead of
+    the (clamped) interval endpoints of
+    :func:`binomial_confidence_interval`, computed from the identical
+    formula so reports and the stopping rule can never disagree.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in [0, trials]: {successes}/{trials}"
+        )
+    return _wilson_half(successes / trials, trials, _t_value(confidence))
+
+
+def required_additional_samples(
+    successes: int,
+    trials: int,
+    ci_target: float,
+    confidence: float = 0.99,
+) -> int:
+    """Extra trials needed before the Wilson half-width reaches *ci_target*.
+
+    Inverse of :func:`wilson_half_width` holding the observed proportion
+    ``successes/trials`` fixed (the standard plug-in assumption): the
+    smallest ``m >= 0`` such that ``trials + m`` samples at that proportion
+    yield a half-width of at most *ci_target*.  Returns 0 when the target
+    is already met.  The half-width is strictly positive for any finite
+    sample, so ``ci_target <= 0`` is unreachable and rejected.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in [0, trials]: {successes}/{trials}"
+        )
+    if ci_target <= 0:
+        raise ValueError("ci_target must be positive (the half-width of "
+                         "any finite sample is nonzero)")
+    t = _t_value(confidence)
+    p = successes / trials
+    if _wilson_half(p, trials, t) <= ci_target:
+        return 0
+    # The half-width decreases monotonically in the trial count (for fixed
+    # p), so galloping + bisection find the minimal count exactly.
+    lo, hi = trials, trials * 2
+    while _wilson_half(p, hi, t) > ci_target:
+        lo, hi = hi, hi * 2
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if _wilson_half(p, mid, t) <= ci_target:
+            hi = mid
+        else:
+            lo = mid
+    return hi - trials
 
 
 def fault_population(bits: int, cycles: int, cardinality: int = 1) -> int:

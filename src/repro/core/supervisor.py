@@ -213,6 +213,7 @@ class Supervisor:
         cell_seed: str = "",
         sample_index: int = 0,
         verify: bool = False,
+        liveness=None,
     ) -> FaultClass | None:
         """One injection inside the containment boundary.
 
@@ -220,7 +221,9 @@ class Supervisor:
         contained incident.  A failed *verify* cross-check (a
         :class:`~repro.errors.VerificationError`) is contained like any
         other platform bug — journalled with a full repro bundle, and
-        escalated in ``--strict`` mode.
+        escalated in ``--strict`` mode.  *liveness* is forwarded to
+        :func:`~repro.core.campaign.run_one_injection` for mask pruning;
+        a pruner audit failure is a verification incident like any other.
         """
         trace: dict = {}
         max_steps = None
@@ -231,7 +234,7 @@ class Supervisor:
             fault_class, _, _ = run_one_injection(
                 workload, component, generator, cardinality, inject_cycle,
                 core_cfg, checkpoints=checkpoints, max_steps=max_steps,
-                trace=trace, verify=verify,
+                trace=trace, verify=verify, liveness=liveness,
             )
             return fault_class
         except SimAssertion:

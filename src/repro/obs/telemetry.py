@@ -80,17 +80,28 @@ class Telemetry:
             mem_rates[component] = rate(
                 f"sim.mem.{component}.hits", f"sim.mem.{component}.misses"
             )
+        # Pruning hit rate is pruned/samples (not pruned/(pruned+undecided)):
+        # the fraction of the campaign's samples that skipped simulation.
+        pruned = counters.get("sim.pruned.total", 0)
+        undecided = counters.get("sim.undecided.total", 0)
+        pruning_rate = None
+        if (pruned + undecided) and samples:
+            pruning_rate = round(pruned / samples, 6)
         return {
             "samples_per_sec": (
                 round(samples / wall, 3) if samples and wall > 0 else None
             ),
             "worker_utilization": utilization,
+            "pruning_hit_rate": pruning_rate,
             "lru_hit_rates": {
                 "golden": rate(
                     "exec.lru.golden.hits", "exec.lru.golden.misses"
                 ),
                 "checkpoint": rate(
                     "exec.lru.checkpoint.hits", "exec.lru.checkpoint.misses"
+                ),
+                "liveness": rate(
+                    "exec.lru.liveness.hits", "exec.lru.liveness.misses"
                 ),
             },
             "mem_hit_rates": mem_rates,

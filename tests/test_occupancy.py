@@ -4,7 +4,9 @@ import pytest
 
 from repro.core.occupancy import (
     OccupancyProfile,
+    OccupancySample,
     profile_occupancy,
+    snapshot_bits,
     snapshot_occupancy,
 )
 from repro.cpu.system import System
@@ -73,6 +75,47 @@ def test_empty_profile_statistics():
     assert profile.mean("l1d") == 0.0
     assert profile.peak("l1d") == 0.0
     assert profile.components() == []
+
+
+def test_statistics_tolerate_missing_components():
+    # A component absent from some samples (profiler attached mid-run)
+    # must average over the samples that observed it, not raise.
+    profile = OccupancyProfile(samples=[
+        OccupancySample(0, {"l1d": 0.2}),
+        OccupancySample(500, {"l1d": 0.6, "l2": 0.4}),
+    ])
+    assert profile.mean("l1d") == pytest.approx(0.4)
+    assert profile.peak("l1d") == 0.6
+    assert profile.mean("l2") == 0.4
+    assert profile.peak("l2") == 0.4
+    assert profile.mean("regfile") == 0.0
+    assert profile.peak("regfile") == 0.0
+    assert profile.components() == ["l1d", "l2"]
+    assert set(profile.summary()) == {"l1d", "l2"}
+
+
+def test_snapshot_bits_cold_system():
+    system = fresh_system()
+    bits = snapshot_bits(system)
+    for component in ("l1d", "l1i", "l2", "itlb", "dtlb"):
+        assert bits[component] == 0
+    # The 16 architectural registers are mapped at reset: 16 words.
+    assert bits["regfile"] == 16 * system.core.prf.inject_cols
+
+
+def test_snapshot_bits_tracks_occupancy_after_warmup():
+    system = fresh_system()
+    system.run_until(2000, 100_000)
+    bits = snapshot_bits(system)
+    fractions = snapshot_occupancy(system)
+    assert bits["l1i"] > 0 and bits["itlb"] > 0
+    # Bits and fractions describe the same live state: a component with
+    # zero occupancy holds zero live bits and vice versa.
+    for component in ("l1d", "l1i", "l2", "itlb", "dtlb"):
+        assert (bits[component] > 0) == (fractions[component] > 0)
+    # Cache bit counts are whole lines.
+    line_bits = system.l1i.line_size * 8
+    assert bits["l1i"] % line_bits == 0
 
 
 def test_bad_interval_rejected():

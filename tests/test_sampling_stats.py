@@ -14,9 +14,12 @@ import pytest
 from repro.core.campaign import CampaignConfig, run_cell
 from repro.core.sampling import (
     _t_value,
+    _wilson_half,
     binomial_confidence_interval,
     error_margin,
+    required_additional_samples,
     sample_size,
+    wilson_half_width,
 )
 
 #: Two-sided normal quantile at 99% confidence, independently computed
@@ -114,6 +117,55 @@ def test_interval_input_validation():
         binomial_confidence_interval(-1, 4)
     with pytest.raises(ValueError):
         binomial_confidence_interval(1, 4, method="jeffreys")
+
+
+def test_wilson_half_width_matches_interval():
+    # Away from the [0, 1] clamp, the half-width IS half the interval —
+    # the stopping rule and the report can never disagree.
+    for k, n in ((137, 2_000), (500, 1_000), (30, 100)):
+        lo, hi = binomial_confidence_interval(k, n, confidence=0.99)
+        assert wilson_half_width(k, n) == pytest.approx(
+            (hi - lo) / 2, abs=1e-12
+        )
+
+
+def test_wilson_half_width_shrinks_with_samples():
+    widths = [wilson_half_width(n // 4, n) for n in (40, 400, 4_000, 40_000)]
+    assert widths == sorted(widths, reverse=True)
+    assert widths[-1] < 0.01
+
+
+def test_required_additional_samples_is_exact_inverse():
+    t = _t_value(0.99)
+    for k, n, target in (
+        (137, 200, 0.02), (10, 50, 0.05), (0, 25, 0.01), (25, 25, 0.03),
+    ):
+        extra = required_additional_samples(k, n, target)
+        p = k / n
+        # Minimality: n + extra meets the target, n + extra - 1 does not.
+        assert _wilson_half(p, n + extra, t) <= target
+        if extra > 0:
+            assert _wilson_half(p, n + extra - 1, t) > target
+
+
+def test_required_additional_samples_zero_when_met():
+    assert required_additional_samples(500, 100_000, 0.02) == 0
+    # And the paper's setup: 2,000 samples at p=0.5 sit just under +/-2.9%.
+    assert required_additional_samples(1_000, 2_000, 0.029) == 0
+    assert required_additional_samples(1_000, 2_000, 0.028) > 0
+
+
+def test_required_additional_samples_validation():
+    with pytest.raises(ValueError):
+        required_additional_samples(1, 0, 0.02)
+    with pytest.raises(ValueError):
+        required_additional_samples(5, 4, 0.02)
+    with pytest.raises(ValueError):
+        required_additional_samples(1, 4, 0.0)
+    with pytest.raises(ValueError):
+        wilson_half_width(1, 0)
+    with pytest.raises(ValueError):
+        wilson_half_width(5, 4)
 
 
 def test_paper_sampling_numbers_cross_check():
