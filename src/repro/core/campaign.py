@@ -782,6 +782,7 @@ def run_campaign(
     verify: bool = False,
     prune: bool = False,
     backend: str = "multiprocessing",
+    backend_options: dict | None = None,
     policy=None,
 ) -> CampaignResult:
     """Run (or resume, via *store*) a full campaign.
@@ -789,9 +790,10 @@ def run_campaign(
     ``jobs > 1`` shards the cell grid across an executor backend
     (see :mod:`repro.core.parallel`); cells are independently seeded, so
     the merged result is byte-identical to the serial run.  *backend*
-    selects the worker transport and *policy* (a
-    :class:`~repro.core.executor.ResiliencePolicy`) tunes the fabric's
-    failure handling; both are ignored for serial runs.  *verify* turns
+    selects the worker transport (*backend_options* are forwarded to its
+    constructor — e.g. the socket coordinator's listen address) and
+    *policy* (a :class:`~repro.core.executor.ResiliencePolicy`) tunes the
+    fabric's failure handling; all three are ignored for serial runs.  *verify* turns
     on the oracle cross-checks of :func:`run_cell` for every cell; results
     stay byte-identical to a non-verify run.  *prune* turns on liveness
     mask pruning (see :func:`run_cell`); results again stay byte-identical,
@@ -804,7 +806,8 @@ def run_campaign(
             config, jobs=jobs, progress=progress, store=store,
             core_cfg=core_cfg, supervisor=supervisor,
             checkpoint_every=checkpoint_every, resume=resume,
-            verify=verify, prune=prune, backend=backend, policy=policy,
+            verify=verify, prune=prune, backend=backend,
+            backend_options=backend_options, policy=policy,
         )
     cells = config.cells()
     results: list[CellResult] = []

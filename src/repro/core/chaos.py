@@ -30,6 +30,32 @@ Fault classes (one scenario each, composable):
   of sinking the campaign (and must abort it under ``--strict`` or a
   tight ``--max-incidents``).
 
+Network fault classes (:data:`NET_SCENARIOS`, socket backend only —
+they sever or corrupt a TCP transport that the in-process backends do
+not have):
+
+* ``disconnect``   — a worker drops its connection mid-cell; the parent
+  must reschedule from the last acked checkpoint while the worker
+  rejoins.
+* ``partition``    — the connection is severed *during* the checkpoint
+  stream (after at least one mid-cell checkpoint was acked), so the
+  resume provably continues from a mid-cell state.
+* ``corrupt-frame`` — a worker emits a frame whose CRC lies; the codec
+  must diagnose it, the parent must treat the stream as dead, and the
+  campaign must still converge.
+* ``stale-epoch``  — a disconnected worker rejoins claiming a bogus
+  session epoch; the coordinator must reject it, and the worker's clean
+  retry must be accepted.
+* ``dup-deliver``  — result/checkpoint messages are delivered twice
+  (the healed-partition double-send); duplicates must be suppressed by
+  first-canonical-result-wins.
+
+Worker-side network events fire through a transport hook the socket
+worker registers around :func:`~repro.core.executor.worker_loop`
+(:func:`set_transport_hook`); in non-socket runs the hook is absent and
+the events are inert rather than vacuously "passed" — their flag is only
+marked once a hook actually fired.
+
 Worker-side events fire **once** across reschedules (flag files — the
 same mechanism a real heisenbug's nondeterminism provides, made
 deterministic), so every scenario converges.  Event placement is drawn
@@ -53,8 +79,25 @@ from repro.errors import ChaosAbort
 #: Scenario names in canonical run order.
 SCENARIOS = ("kill", "stall", "drop", "dup", "torn", "poison")
 
+#: Network scenarios: require ``backend="socket"`` (there is no
+#: transport to sever inside the in-process backends).
+NET_SCENARIOS = (
+    "disconnect", "partition", "corrupt-frame", "stale-epoch", "dup-deliver",
+)
+
 #: Exit code chaos kills die with — distinctive in incident journals.
 CHAOS_EXIT_CODE = 64
+
+#: The socket worker's registered transport saboteur (or ``None``).
+#: Takes one argument, the event kind: ``"disconnect"`` severs the
+#: connection, ``"corrupt"`` emits a bad-CRC frame.  Process-local by
+#: design: each worker process registers its own.
+_TRANSPORT_HOOK = {"fn": None}
+
+
+def set_transport_hook(fn) -> None:
+    """Register (or with ``None`` clear) the transport chaos hook."""
+    _TRANSPORT_HOOK["fn"] = fn
 
 
 @dataclass(frozen=True)
@@ -63,10 +106,13 @@ class ChaosEvent:
     *ordinal* (the per-cell sample-probe counter) inside the given cell.
 
     ``kind`` is ``"kill"`` (hard ``os._exit``, no cleanup, no goodbye —
-    exactly what a segfault looks like from the parent) or ``"stall"``
+    exactly what a segfault looks like from the parent), ``"stall"``
     (sleep through the heartbeat interval, exactly what a livelock looks
-    like).  *flag* (optional explicit path) marks the event as fired so
-    the rescheduled cell does not re-trigger it.
+    like), ``"disconnect"`` (sever the socket transport mid-cell) or
+    ``"corrupt"`` (emit a frame whose CRC lies) — the last two act
+    through the registered transport hook and are inert without one.
+    *flag* (optional explicit path) marks the event as fired so the
+    rescheduled cell does not re-trigger it.
     """
 
     kind: str
@@ -88,6 +134,9 @@ class ChaosSpec:
     droppable (``partial``/``telemetry``/``cell``) and duplicable
     (``cell``/``partial``) queue messages; *torn_ordinals* index into the
     stream of parent-side checkpoint writes (see :class:`TornWriteStore`).
+    *stale_rejoin* makes the socket worker's first reconnect claim a
+    bogus session epoch (once, flag-file guarded), exercising the
+    coordinator's stale-session rejection.
     """
 
     flag_dir: str = ""
@@ -95,6 +144,7 @@ class ChaosSpec:
     drop_ordinals: tuple[int, ...] = ()
     dup_ordinals: tuple[int, ...] = ()
     torn_ordinals: tuple[int, ...] = ()
+    stale_rejoin: bool = False
 
     def _flag_path(self, index: int, event: ChaosEvent) -> Path:
         if event.flag is not None:
@@ -114,6 +164,20 @@ class ChaosSpec:
             ):
                 flag = self._flag_path(index, event)
                 if flag.exists():
+                    continue
+                if event.kind in ("disconnect", "corrupt"):
+                    hook = _TRANSPORT_HOOK["fn"]
+                    if hook is None:
+                        # No transport to sabotage (not a socket worker):
+                        # leave the flag unmarked so the event is armed,
+                        # not silently "passed".
+                        continue
+                    try:
+                        flag.parent.mkdir(parents=True, exist_ok=True)
+                        flag.touch()
+                    except OSError:  # pragma: no cover - flag dir vanished
+                        continue
+                    hook(event.kind)
                     continue
                 try:
                     flag.parent.mkdir(parents=True, exist_ok=True)
@@ -189,9 +253,10 @@ def build_spec(
     comfortably exceed the resilience policy's hang timeout plus grace
     period, so the stalled worker is killed rather than outwaited.
     """
-    if scenario not in SCENARIOS:
+    if scenario not in SCENARIOS + NET_SCENARIOS:
         raise ValueError(
-            f"unknown chaos scenario {scenario!r} (choose from {SCENARIOS})"
+            f"unknown chaos scenario {scenario!r} "
+            f"(choose from {SCENARIOS + NET_SCENARIOS})"
         )
     rng = random.Random(f"chaos:{scenario}:{seed}")
     cells = config.cells()
@@ -209,6 +274,7 @@ def build_spec(
     drops: tuple[int, ...] = ()
     dups: tuple[int, ...] = ()
     torn: tuple[int, ...] = ()
+    stale = False
     if scenario == "kill":
         for _ in range(2):
             workload, component, cardinality = pick_cell()
@@ -236,12 +302,48 @@ def build_spec(
             ChaosEvent("kill", workload, component, cardinality, ordinal=0)
             for _ in range(max_attempts + 1)
         )
+    elif scenario == "disconnect":
+        workload, component, cardinality = pick_cell()
+        events.append(ChaosEvent(
+            "disconnect", workload, component, cardinality,
+            ordinal=pick_ordinal(),
+        ))
+    elif scenario == "partition":
+        # Sever *during* the checkpoint stream: ordinal ≥ 1 guarantees at
+        # least one mid-cell checkpoint was acked before the cut, so the
+        # reschedule provably resumes from a mid-cell state.
+        workload, component, cardinality = pick_cell()
+        ordinal = 1 + rng.randrange(max(1, config.samples - 1))
+        events.append(ChaosEvent(
+            "disconnect", workload, component, cardinality, ordinal=ordinal,
+        ))
+    elif scenario == "corrupt-frame":
+        workload, component, cardinality = pick_cell()
+        events.append(ChaosEvent(
+            "corrupt", workload, component, cardinality,
+            ordinal=pick_ordinal(),
+        ))
+    elif scenario == "stale-epoch":
+        # Disconnect, then have the rejoin claim a bogus session epoch:
+        # the coordinator must reject the stale join and accept the
+        # clean retry.
+        workload, component, cardinality = pick_cell()
+        events.append(ChaosEvent(
+            "disconnect", workload, component, cardinality,
+            ordinal=pick_ordinal(),
+        ))
+        stale = True
+    elif scenario == "dup-deliver":
+        # Healed-partition double-send, injected parent-side so the
+        # whole dedup path (not just the transport) is exercised.
+        dups = tuple(sorted(rng.sample(range(16), k=3)))
     return ChaosSpec(
         flag_dir=flag_dir,
         events=tuple(events),
         drop_ordinals=drops,
         dup_ordinals=dups,
         torn_ordinals=torn,
+        stale_rejoin=stale,
     )
 
 
@@ -365,6 +467,12 @@ def run_chaos(
     from repro.cpu.config import DEFAULT_CONFIG
 
     core_cfg = core_cfg if core_cfg is not None else DEFAULT_CONFIG
+    for scenario in scenarios:
+        if scenario in NET_SCENARIOS and backend != "socket":
+            raise ValueError(
+                f"chaos scenario {scenario!r} needs backend='socket' "
+                f"(got {backend!r}): only a TCP transport can be severed"
+            )
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
     if policy is None:

@@ -37,11 +37,11 @@ from repro.core.campaign import (
     golden_run,
     run_campaign,
 )
-from repro.core.chaos import SCENARIOS
-from repro.core.executor import BACKENDS, ResiliencePolicy
+from repro.core.chaos import NET_SCENARIOS, SCENARIOS
+from repro.core.executor import ALL_BACKEND_NAMES, ResiliencePolicy
 from repro.core.generator import CLUSTERED, INDEPENDENT, ClusterShape
 from repro.core.supervisor import IncidentJournal, Supervisor
-from repro.errors import InjectionIncident
+from repro.errors import ConfigError, InjectionIncident
 from repro.cpu.config import DEFAULT_CONFIG
 from repro.cpu.system import COMPONENT_NAMES
 from repro.obs.progress import EtaTracker
@@ -122,10 +122,23 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         "deterministically (byte-identical to --jobs 1; default 1)",
     )
     parser.add_argument(
-        "--backend", choices=sorted(BACKENDS), default="multiprocessing",
+        "--backend", choices=sorted(ALL_BACKEND_NAMES),
+        default="multiprocessing",
         help="executor backend for --jobs: 'multiprocessing' (in-process "
-        "pool, default) or 'subprocess' (spawned workers over "
-        "length-prefixed pipes); results are byte-identical either way",
+        "pool, default), 'subprocess' (spawned workers over CRC-checked "
+        "pipe frames) or 'socket' (TCP coordinator for distributed "
+        "workers — see --listen); results are byte-identical either way",
+    )
+    parser.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="with --backend socket: listen on HOST:PORT and wait for "
+        "external 'repro-campaign worker --connect' processes instead of "
+        "autospawning local ones",
+    )
+    parser.add_argument(
+        "--accept-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --backend socket: how long the coordinator waits for "
+        "a worker to join before degrading to fewer workers (default 30)",
     )
     parser.add_argument(
         "--hang-timeout", type=float, default=None, metavar="SECONDS",
@@ -138,6 +151,23 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         help="quarantine a cell after N failed executions (worker crashes "
         "or hangs) as a poison-cell incident instead of retrying forever "
         "(default 3)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="how often workers heartbeat from the per-sample probe "
+        "(default 0.5; must not exceed --hang-timeout)",
+    )
+    parser.add_argument(
+        "--lease-factor", type=float, default=None, metavar="K",
+        help="a worker owns a dispatched cell for K times its predicted "
+        "wall time (default 16, floored at 60s); an expired lease — an "
+        "unreachable or partitioned owner — is reclaimed and the cell "
+        "rescheduled from its last acked checkpoint",
+    )
+    parser.add_argument(
+        "--max-backoff", type=float, default=None, metavar="SECONDS",
+        help="cap on the exponential retry backoff between reschedules "
+        "of a failed cell (default 30)",
     )
     parser.add_argument(
         "--telemetry", nargs="?", const="auto", default=None, metavar="PATH",
@@ -220,13 +250,61 @@ def _write_telemetry(telemetry, path: Path) -> None:
 
 
 def _policy_from_args(args: argparse.Namespace) -> ResiliencePolicy | None:
-    """Resilience overrides, or ``None`` to take the policy defaults."""
+    """Validated resilience overrides, or ``None`` for policy defaults.
+
+    Raises :class:`~repro.errors.ConfigError` on self-contradictory
+    knobs (e.g. a heartbeat interval above the hang timeout).
+    """
     overrides = {}
-    if getattr(args, "hang_timeout", None) is not None:
-        overrides["hang_timeout"] = args.hang_timeout
-    if getattr(args, "max_attempts", None) is not None:
-        overrides["max_attempts"] = args.max_attempts
-    return ResiliencePolicy(**overrides) if overrides else None
+    for attr in (
+        "hang_timeout", "max_attempts", "heartbeat_interval", "lease_factor",
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[attr] = value
+    if getattr(args, "max_backoff", None) is not None:
+        overrides["retry_max_delay"] = args.max_backoff
+    if not overrides:
+        return None
+    policy = ResiliencePolicy(**overrides)
+    policy.validate()
+    return policy
+
+
+def _backend_options(args: argparse.Namespace) -> dict | None:
+    """Socket-coordinator options from --listen / --accept-timeout.
+
+    Raises :class:`~repro.errors.ConfigError` when those flags are used
+    with a non-socket backend or the address does not parse.
+    """
+    listen = getattr(args, "listen", None)
+    accept_timeout = getattr(args, "accept_timeout", None)
+    if args.backend != "socket":
+        if listen is not None or accept_timeout is not None:
+            raise ConfigError(
+                "--listen/--accept-timeout require --backend socket"
+            )
+        return None
+    if listen is not None and getattr(args, "jobs", 1) < 2:
+        # --jobs 1 runs serially in-process: nothing would ever listen,
+        # and remote workers would wait on a port that never opens.
+        raise ConfigError("--listen requires --jobs 2 or more")
+    options: dict = {}
+    if listen is not None:
+        from repro.core.coordinator import parse_address
+
+        try:
+            host, port = parse_address(listen)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
+        options.update(host=host, port=port, autospawn=False)
+    if accept_timeout is not None:
+        if accept_timeout <= 0:
+            raise ConfigError(
+                f"--accept-timeout must be > 0 (got {accept_timeout})"
+            )
+        options["accept_timeout"] = accept_timeout
+    return options or None
 
 
 #: Which signal interrupted the run — SIGINT unless the SIGTERM handler
@@ -257,6 +335,12 @@ def _install_graceful_signals() -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     _install_graceful_signals()
+    try:
+        policy = _policy_from_args(args)
+        backend_options = _backend_options(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.adaptive and (args.store or args.resume):
         # Adaptive cells have no fixed sample count, so they cannot share
         # the store's exact-parameter cache keys.
@@ -329,7 +413,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 verify=args.verify,
                 prune=args.prune_masked,
                 backend=args.backend,
-                policy=_policy_from_args(args),
+                backend_options=backend_options,
+                policy=policy,
             )
     except InjectionIncident as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
@@ -419,15 +504,54 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_incidents(args: argparse.Namespace) -> int:
+    from repro.core.supervisor import INCIDENT_KINDS
+
     journal = IncidentJournal.load(args.journal)
+    incidents = journal.incidents
+    selected = None
+    if args.types:
+        selected = [t.strip() for t in args.types.split(",") if t.strip()]
+        unknown = [t for t in selected if t not in INCIDENT_KINDS]
+        if unknown:
+            print(
+                f"error: unknown incident type(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(INCIDENT_KINDS)})",
+                file=sys.stderr,
+            )
+            return 2
+        incidents = [i for i in incidents if i.kind in selected]
     if args.json:
         print(json.dumps(
-            [incident.as_dict() for incident in journal.incidents],
+            [incident.as_dict() for incident in incidents],
             indent=1, sort_keys=True,
         ))
         return 0
-    print(report.render_incidents(journal.incidents, verbose=args.verbose))
+    print(report.render_incidents(
+        incidents, verbose=args.verbose,
+        total=len(journal.incidents) if selected is not None else None,
+        selected=selected,
+    ))
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.core.coordinator import run_worker
+
+    def log(text: str) -> None:
+        if not args.quiet:
+            print(f"worker: {text}", file=sys.stderr)
+
+    try:
+        return run_worker(
+            args.connect,
+            reconnect=args.reconnect,
+            retry_delay=args.retry_delay,
+            max_retries=args.max_retries,
+            log=log,
+        )
+    except ValueError as exc:  # bad --connect address
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -541,18 +665,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         knobs["hang_timeout"] = args.hang_timeout
     if args.max_attempts is not None:
         knobs["max_attempts"] = args.max_attempts
-    report = run_chaos(
-        config,
-        scenarios=tuple(args.scenarios) if args.scenarios else SCENARIOS,
-        jobs=args.jobs,
-        seed=args.chaos_seed,
-        workdir=args.workdir,
-        backend=args.backend,
-        policy=ResiliencePolicy(**knobs),
-        progress=lambda scenario: print(
-            f"chaos: running scenario {scenario!r} ...", file=sys.stderr
-        ),
-    )
+    scenarios = tuple(args.scenarios) if args.scenarios else SCENARIOS
+    try:
+        report = run_chaos(
+            config,
+            scenarios=scenarios,
+            jobs=args.jobs,
+            seed=args.chaos_seed,
+            workdir=args.workdir,
+            backend=args.backend,
+            policy=ResiliencePolicy(**knobs),
+            progress=lambda scenario: print(
+                f"chaos: running scenario {scenario!r} ...", file=sys.stderr
+            ),
+        )
+    except ValueError as exc:  # net scenario without --backend socket
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for outcome in report.outcomes:
         status = "ok" if outcome.ok else "FAIL"
         print(f"[{status}] {outcome.scenario:7s} {outcome.detail}")
@@ -617,7 +746,41 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="emit the journal as machine-readable JSON instead of a table",
     )
+    p_incidents.add_argument(
+        "--type", dest="types", default=None, metavar="KINDS",
+        help="comma-separated incident kinds to show, e.g. "
+        "retry,lease-expired,poison-cell (default: all)",
+    )
     p_incidents.set_defaults(func=_cmd_incidents)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a distributed campaign as a socket worker "
+        "(serves cells for a coordinator running with --backend socket)",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's listen address",
+    )
+    p_worker.add_argument(
+        "--reconnect", action="store_true",
+        help="rejoin the campaign after a lost connection and resume "
+        "rescheduled cells from their last acked checkpoint (default: "
+        "exit on disconnect)",
+    )
+    p_worker.add_argument(
+        "--retry-delay", type=float, default=0.5, metavar="SECONDS",
+        help="delay between connection attempts (default 0.5)",
+    )
+    p_worker.add_argument(
+        "--max-retries", type=int, default=20, metavar="N",
+        help="connection attempts before giving up on the coordinator "
+        "(default 20)",
+    )
+    p_worker.add_argument(
+        "--quiet", action="store_true", help="suppress lifecycle messages",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_stats = sub.add_parser(
         "stats", help="render a campaign telemetry summary"
@@ -669,9 +832,12 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--samples", type=int, default=4)
     p_chaos.add_argument("--seed", type=int, default=0)
     p_chaos.add_argument(
-        "--scenarios", nargs="*", default=None, choices=list(SCENARIOS),
+        "--scenarios", nargs="*", default=None,
+        choices=list(SCENARIOS + NET_SCENARIOS),
         metavar="NAME",
-        help=f"scenario subset (default: the full matrix {SCENARIOS})",
+        help=f"scenario subset (default: the full local matrix "
+        f"{SCENARIOS}; network scenarios {NET_SCENARIOS} need "
+        f"--backend socket)",
     )
     p_chaos.add_argument("--jobs", type=int, default=2, metavar="N")
     p_chaos.add_argument(
@@ -679,7 +845,8 @@ def main(argv: list[str] | None = None) -> int:
         help="seed of the fault plan (same seed → same chaos)",
     )
     p_chaos.add_argument(
-        "--backend", choices=sorted(BACKENDS), default="multiprocessing",
+        "--backend", choices=sorted(ALL_BACKEND_NAMES),
+        default="multiprocessing",
     )
     p_chaos.add_argument(
         "--workdir", type=Path, required=True, metavar="DIR",

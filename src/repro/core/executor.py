@@ -46,10 +46,8 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
-import pickle
 import queue as queue_module
 import signal
-import struct
 import subprocess
 import sys
 import threading
@@ -68,6 +66,12 @@ from repro.core.campaign import (
     run_cell,
 )
 from repro.core.chaos import ChaosSpec
+from repro.core.wire import (  # noqa: F401 - re-exported compat names
+    HANDSHAKE_EPOCH,
+    MAX_FRAME_BYTES,
+    read_frame,
+    write_frame,
+)
 from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
 from repro.errors import CampaignInterrupted, InjectionIncident
 from repro.workloads import get_workload
@@ -96,6 +100,18 @@ class ResiliencePolicy:
     time (never less than ``deadline_floor`` seconds).  Until the first
     cell completes there is no rate and no deadline — heartbeat silence
     (``hang_timeout``) is the primary hang signal throughout.
+
+    **Leases** are the cell-ownership layer on top (DESIGN.md §12): a
+    dispatched cell is *leased* to its worker for
+    ``lease_factor × predicted wall`` seconds (never less than
+    ``lease_floor``), renewed by every message from that worker.  An
+    expired lease means the owner is unreachable — partitioned, killed,
+    or wedged beyond even the hang escalator's reach (a remote host the
+    scheduler cannot SIGKILL) — so ownership is reclaimed and the cell
+    rescheduled; a late result from the old owner is suppressed by the
+    first-canonical-result-wins rule.  The defaults keep the lease
+    horizon comfortably beyond ``hang_timeout + grace_period`` so local
+    backends escalate before they ever forfeit a lease.
     """
 
     heartbeat_interval: float = 0.5
@@ -111,6 +127,57 @@ class ResiliencePolicy:
     speculate: bool = True
     restarts_per_worker: int = 2
     degrade_to_serial: bool = True
+    lease_factor: float = 16.0
+    lease_floor: float = 60.0
+
+    def validate(self) -> None:
+        """Reject self-contradictory knob combinations loudly.
+
+        The CLI funnels user-supplied overrides through here so a typo'd
+        ``--heartbeat-interval 0`` fails at argument time, not as a
+        mysterious mid-campaign reclaim storm.
+        """
+        from repro.errors import ConfigError
+
+        positive = {
+            "heartbeat_interval": self.heartbeat_interval,
+            "hang_timeout": self.hang_timeout,
+            "grace_period": self.grace_period,
+            "retry_base_delay": self.retry_base_delay,
+            "retry_max_delay": self.retry_max_delay,
+            "deadline_factor": self.deadline_factor,
+            "deadline_floor": self.deadline_floor,
+            "straggler_factor": self.straggler_factor,
+            "lease_factor": self.lease_factor,
+            "lease_floor": self.lease_floor,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ConfigError(f"{name} must be > 0 (got {value})")
+        if self.retry_jitter < 0:
+            raise ConfigError(
+                f"retry_jitter must be >= 0 (got {self.retry_jitter})"
+            )
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1 (got {self.max_attempts})"
+            )
+        if self.restarts_per_worker < 0:
+            raise ConfigError(
+                f"restarts_per_worker must be >= 0 "
+                f"(got {self.restarts_per_worker})"
+            )
+        if self.retry_max_delay < self.retry_base_delay:
+            raise ConfigError(
+                f"retry_max_delay ({self.retry_max_delay}) must be >= "
+                f"retry_base_delay ({self.retry_base_delay})"
+            )
+        if self.heartbeat_interval > self.hang_timeout:
+            raise ConfigError(
+                f"heartbeat_interval ({self.heartbeat_interval}) must not "
+                f"exceed hang_timeout ({self.hang_timeout}) — every live "
+                f"worker would look hung"
+            )
 
     def backoff(self, cell_key: str, attempt: int) -> float:
         """Exponential backoff with deterministic jitter.
@@ -527,50 +594,14 @@ class MultiprocessingBackend(ExecutorBackend):
 
 
 # ---------------------------------------------------------------------------
-# Subprocess backend (length-prefixed frames over pipes)
+# Subprocess backend (CRC-framed messages over pipes)
 # ---------------------------------------------------------------------------
-
-_FRAME_HEADER = struct.Struct(">I")
-
-#: Refuse absurd frame lengths: a desynchronised stream would otherwise
-#: ask for gigabytes.  Checkpoints and telemetry deltas are << 16 MB.
-MAX_FRAME_BYTES = 64 * 1024 * 1024
-
-
-def _read_exact(stream, count: int) -> bytes | None:
-    """Read exactly *count* bytes; ``None`` on EOF (clean or torn)."""
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = stream.read(remaining)
-        if not chunk:
-            return None
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def read_frame(stream) -> object | None:
-    """One length-prefixed pickled message; ``None`` on EOF/torn frame."""
-    header = _read_exact(stream, _FRAME_HEADER.size)
-    if header is None:
-        return None
-    (length,) = _FRAME_HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        return None
-    payload = _read_exact(stream, length)
-    if payload is None:
-        return None
-    try:
-        return pickle.loads(payload)
-    except Exception:  # noqa: BLE001 - a torn pickle is EOF, not a crash
-        return None
-
-
-def write_frame(stream, message: object) -> None:
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    stream.write(_FRAME_HEADER.pack(len(payload)) + payload)
-    stream.flush()
+#
+# The framing itself lives in :mod:`repro.core.wire` — the socket backend
+# shares it byte-for-byte, and pipes get the same per-frame CRC32: a torn,
+# oversized or corrupted frame reads as EOF, which the scheduler already
+# treats as a dead worker.  Pipe traffic stays in HANDSHAKE_EPOCH (there is
+# exactly one session per spawned worker, no reconnects to confuse).
 
 
 class _SubprocessHandle(WorkerHandle):
@@ -654,7 +685,7 @@ class SubprocessBackend(ExecutorBackend):
 
         def pump() -> None:
             while True:
-                message = read_frame(proc.stdout)
+                message = read_frame(proc.stdout, HANDSHAKE_EPOCH)
                 if message is None:
                     return
                 self.inbox.put(message)
@@ -692,7 +723,7 @@ def _subprocess_worker_main() -> int:
     stdin = sys.stdin.buffer
     stdout = sys.stdout.buffer
     sys.stdout = sys.stderr
-    hello = read_frame(stdin)
+    hello = read_frame(stdin, HANDSHAKE_EPOCH)
     if not (isinstance(hello, tuple) and hello and hello[0] == "hello"):
         return 2
     _, worker_id, spec = hello
@@ -701,7 +732,7 @@ def _subprocess_worker_main() -> int:
 
     def reader() -> None:
         while True:
-            message = read_frame(stdin)
+            message = read_frame(stdin, HANDSHAKE_EPOCH)
             if message is None:  # parent died or closed stdin: wind down
                 stop_event.set()
                 tasks.put(None)
@@ -745,16 +776,34 @@ BACKENDS: dict[str, type[ExecutorBackend]] = {
     SubprocessBackend.name: SubprocessBackend,
 }
 
+#: Every backend ``--backend`` may name, including the socket backend
+#: whose module (:mod:`repro.core.coordinator`) is imported on demand —
+#: workers spawned as ``python -m repro.core.executor`` should not pay
+#: for the TCP machinery they never use.
+ALL_BACKEND_NAMES: tuple[str, ...] = (
+    MultiprocessingBackend.name, SubprocessBackend.name, "socket",
+)
 
-def create_backend(name: str, spec: WorkerSpec) -> ExecutorBackend:
+
+def create_backend(
+    name: str, spec: WorkerSpec, options: dict | None = None
+) -> ExecutorBackend:
+    """Instantiate a backend by name.
+
+    *options* are backend-specific constructor keywords (the socket
+    backend's listen address, accept timeout, autospawn switch...); the
+    in-process backends accept none.
+    """
+    if name == "socket" and name not in BACKENDS:
+        from repro.core import coordinator  # noqa: F401 - registers itself
     try:
         backend_cls = BACKENDS[name]
     except KeyError:
         raise ValueError(
             f"unknown executor backend {name!r} "
-            f"(available: {', '.join(sorted(BACKENDS))})"
+            f"(available: {', '.join(sorted(set(BACKENDS) | set(ALL_BACKEND_NAMES)))})"
         ) from None
-    return backend_cls(spec)
+    return backend_cls(spec, **(options or {}))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -30,6 +30,15 @@ Architecture (one parent, N workers behind a pluggable backend):
   soft-cancel (stop at the next sample, flush a final checkpoint), then
   kill after a grace period of continued silence, then reschedule from
   the last streamed checkpoint.
+* **Lease-based cell ownership.**  Every started cell is leased to its
+  worker for a duration calibrated from golden-run cycles
+  (``lease_factor`` × predicted wall, floored); any message from the
+  owner renews its leases.  An expired lease — a partitioned or
+  half-open connection whose heartbeats stopped arriving — forfeits
+  ownership: the cell is reclaimed, journalled as a ``lease-expired``
+  incident, and rescheduled from its last acked checkpoint, while a
+  late duplicate result from the old owner is suppressed by the
+  first-canonical-result-wins rule.  See DESIGN.md §12.
 * **Bounded retry with backoff.**  Every reschedule (crash, hang, lost
   result) is journalled as a structured ``retry`` incident — attempt
   number, backoff delay, cause — and re-dispatched after an exponential
@@ -163,15 +172,21 @@ class _DeadlineModel:
         self._wall += wall
         self._count += 1
 
-    def predict(self, golden_cycles: int) -> float | None:
-        """Allowed wall seconds for a cell, or ``None`` (uncalibrated)."""
+    def predict_wall(self, golden_cycles: int) -> float | None:
+        """Predicted wall seconds for a cell, or ``None`` (uncalibrated)."""
         if self._wall <= 0 or self._units <= 0:
             return None
         rate = self._units / self._wall
+        return float(golden_cycles) * self._samples / rate
+
+    def predict(self, golden_cycles: int) -> float | None:
+        """Allowed wall seconds for a cell, or ``None`` (uncalibrated)."""
+        predicted = self.predict_wall(golden_cycles)
+        if predicted is None:
+            return None
         return max(
             self._policy.deadline_floor,
-            self._policy.deadline_factor
-            * float(golden_cycles) * self._samples / rate,
+            self._policy.deadline_factor * predicted,
         )
 
     def mean_wall(self) -> float | None:
@@ -198,6 +213,7 @@ class _Scheduler:
         backend_name: str,
         policy: ResiliencePolicy,
         chaos: ChaosSpec | None,
+        backend_options: dict | None = None,
     ) -> None:
         self.config = config
         self.jobs = jobs
@@ -210,6 +226,7 @@ class _Scheduler:
         self.verify = verify
         self.prune = prune
         self.backend_name = backend_name
+        self.backend_options = backend_options
         self.policy = policy
         self.chaos = chaos
 
@@ -268,6 +285,15 @@ class _Scheduler:
         self.start_times: dict[int, float] = {}
         self.deadlines: dict[int, float | None] = {}
         self.running: dict[int, int] = {}
+        # Lease-based cell ownership (the distributed-fabric invariant):
+        # a started cell is *leased* to its worker, the lease renewed by
+        # every message from that worker.  An expired lease — a worker
+        # on the wrong side of a partition, or one whose heartbeats stopped
+        # reaching us — forfeits ownership: the cell is reclaimed and
+        # rescheduled from its last acked checkpoint, and any late result
+        # from the old owner is dropped by first-canonical-result-wins.
+        self.leases: dict[int, float] = {}
+        self.lease_durations: dict[int, float] = {}
         self.model = _DeadlineModel(policy, config.samples)
 
         # Accounting.
@@ -422,6 +448,7 @@ class _Scheduler:
         self.assigned[worker_id] = []
         for task in remaining:
             self.running.pop(task.index, None)
+            self._drop_lease(task.index)
         label = self._cell_label(remaining[0].index) if remaining else "idle"
         # The telemetry a worker accumulated since its last per-cell ship
         # dies with it — count the loss instead of silently absorbing it.
@@ -553,11 +580,113 @@ class _Scheduler:
         self.pending_done.discard(index)
         self.deadlines.pop(index, None)
         self.running.pop(index, None)
+        self._drop_lease(index)
         self._emit_progress()
         if self.strict:
             self.abort_exc = InjectionIncident(f"[strict] {incident.message}")
             return
         self._budget_abort(incident.message)
+
+    # -- lease-based cell ownership ----------------------------------------
+
+    def _lease_duration(self, golden_cycles: int | None) -> float:
+        """How long a worker may own a cell without the parent hearing
+        from it, calibrated (like deadlines) from golden-run cycles.
+
+        ``lease_factor`` is deliberately generous next to
+        ``deadline_factor``: a lease expiry accuses the *transport*
+        (partition, half-open connection), not the cell, so it should
+        fire only when heartbeats that would have renewed it stopped
+        arriving for many predicted cell-lifetimes.
+        """
+        predicted = (
+            self.model.predict_wall(golden_cycles)
+            if golden_cycles is not None else None
+        )
+        if predicted is None:
+            return self.policy.lease_floor
+        return max(
+            self.policy.lease_floor, self.policy.lease_factor * predicted
+        )
+
+    def _grant_lease(self, index: int, now: float) -> None:
+        duration = self._lease_duration(self.cell_golden.get(index))
+        self.lease_durations[index] = duration
+        self.leases[index] = now + duration
+
+    def _renew_leases(self, worker_id: int, now: float) -> None:
+        """Any message from a worker renews the leases it holds — a
+        heartbeating owner keeps its cells no matter how slow they are
+        (the deadline machinery, not the lease, polices slowness)."""
+        for index, owner in self.running.items():
+            if owner == worker_id and index in self.leases:
+                self.leases[index] = now + self.lease_durations.get(
+                    index, self.policy.lease_floor
+                )
+
+    def _drop_lease(self, index: int) -> None:
+        self.leases.pop(index, None)
+        self.lease_durations.pop(index, None)
+
+    def _reclaim_expired_leases(self, now: float) -> None:
+        for index in [
+            index for index, expiry in self.leases.items() if now > expiry
+        ]:
+            if self.abort_exc is not None:
+                return
+            if index not in self.pending_done:
+                self._drop_lease(index)
+                continue
+            self._reclaim_lease(index, now)
+
+    def _reclaim_lease(self, index: int, now: float) -> None:
+        """An expired lease: take the cell back from its unreachable
+        owner and reschedule it from the last acked checkpoint.
+
+        The old owner is soft-cancelled (escalating to a kill if it
+        stays silent through the grace period); a duplicate result from
+        it racing the retry is suppressed because the first canonical
+        result already cleared ``pending_done``.
+        """
+        owner = self.running.get(index)
+        duration = self.lease_durations.get(index, self.policy.lease_floor)
+        age = now - self.start_times.get(index, now)
+        self._drop_lease(index)
+        self.running.pop(index, None)
+        self.deadlines.pop(index, None)
+        task = CellTask(
+            index=index, workload=self.cells[index][0],
+            component=self.cells[index][1],
+            cardinality=self.cells[index][2], cell_key=self.keys[index],
+            partial=self.live_partials.get(index),
+            attempt=self.attempts.get(index, 0),
+        )
+        if owner is not None:
+            # Strip the cell from the owner's assignment so its eventual
+            # death (or next "ready") cannot reschedule it a second time.
+            self.assigned[owner] = [
+                t for t in self.assigned.get(owner, []) if t.index != index
+            ]
+            handle = self.handles.get(owner)
+            if handle is not None and owner not in self.retired:
+                handle.soft_cancel()
+                self.cancelled.setdefault(owner, now)
+        self._journal_only(self._fabric_incident(
+            "lease-expired", index, "LeaseExpired",
+            f"lease on {self._cell_label(index)} expired after "
+            f"{age:.1f}s (duration {duration:.1f}s; owner "
+            f"{'worker %d' % owner if owner is not None else 'unknown'} "
+            f"unreachable); ownership reclaimed and the cell rescheduled "
+            f"from its last acked checkpoint",
+            {"worker": owner, "age": round(age, 3),
+             "lease": round(duration, 3)},
+        ))
+        self._counter("exec.lease_expired")
+        self._instant(
+            "lease-expired", cell=self._cell_label(index), worker=owner,
+            age=round(age, 3),
+        )
+        self._reschedule([task], cause="lease-expired", worker=owner)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -639,6 +768,9 @@ class _Scheduler:
                     return
 
     def _tick(self, now: float) -> None:
+        self._reclaim_expired_leases(now)
+        if self.abort_exc is not None:
+            return
         # Hang / deadline escalation: only workers with in-flight cells
         # owe us heartbeats; idle workers are silent by design.
         for worker_id in list(self.handles):
@@ -706,6 +838,7 @@ class _Scheduler:
         kind = message[0]
         worker_id = message[1]
         self.last_seen[worker_id] = time.monotonic()
+        self._renew_leases(worker_id, self.last_seen[worker_id])
         if worker_id in self.cancelled:
             # Still responsive: postpone the kill — a cancelled worker
             # that keeps talking will stop at its next sample boundary.
@@ -722,6 +855,9 @@ class _Scheduler:
                 and not self.global_stop
             ]
             self.assigned[worker_id] = []
+            for task in lost:
+                self.running.pop(task.index, None)
+                self._drop_lease(task.index)
             if lost:
                 self._counter("exec.lost_results", len(lost))
                 self._reschedule(
@@ -742,6 +878,7 @@ class _Scheduler:
             self.deadlines[index] = (
                 now + predicted if predicted is not None else None
             )
+            self._grant_lease(index, now)
         elif kind == "heartbeat":
             self._counter("exec.heartbeats")
         elif kind == "partial":
@@ -765,6 +902,7 @@ class _Scheduler:
                 )
             self.deadlines.pop(index, None)
             self.running.pop(index, None)
+            self._drop_lease(index)
             if self.store is not None:
                 self.store.put(self.keys[index], cell)
             done = self._emit_progress()
@@ -812,6 +950,7 @@ class _Scheduler:
             self.assigned[worker_id] = []
             for task in remaining:
                 self.running.pop(task.index, None)
+                self._drop_lease(task.index)
             if remaining:
                 self._reschedule(
                     remaining,
@@ -1003,7 +1142,9 @@ class _Scheduler:
             heartbeat_interval=self.policy.heartbeat_interval,
             chaos=self.chaos,
         )
-        self.backend = create_backend(self.backend_name, spec)
+        self.backend = create_backend(
+            self.backend_name, spec, self.backend_options
+        )
         if self.parent_tel is not None:
             self.parent_tel.metrics.gauge("exec.scheduler.batches").set_max(
                 len(batches)
@@ -1095,6 +1236,7 @@ def run_campaign_parallel(
     verify: bool = False,
     prune: bool = False,
     backend: str = "multiprocessing",
+    backend_options: dict | None = None,
     policy: ResiliencePolicy | None = None,
     chaos: ChaosSpec | None = None,
     _crash_spec: dict | None = None,
@@ -1108,8 +1250,11 @@ def run_campaign_parallel(
     ``incident_count`` grows), same result — byte-identical JSON.
 
     *backend* selects the executor backend (see
-    :data:`repro.core.executor.BACKENDS`); *policy* tunes the resilience
-    protocol; *chaos* injects deterministic faults into the fabric (see
+    :data:`repro.core.executor.BACKENDS`) and *backend_options* are
+    passed to its constructor (e.g. ``{"host": ..., "port": ...,
+    "autospawn": False}`` for a listening socket coordinator); *policy*
+    tunes the resilience protocol; *chaos* injects deterministic faults
+    into the fabric (see
     :mod:`repro.core.chaos`).  *_crash_spec* is the legacy test hook:
     ``{"cell": [w, c, k], "flag": path}`` makes the first worker that
     reaches that cell die unannounced (now sugar for a one-kill chaos
@@ -1126,5 +1271,6 @@ def run_campaign_parallel(
         config, jobs, progress, store, core_cfg, supervisor,
         checkpoint_every, resume, verify, prune, backend,
         policy if policy is not None else ResiliencePolicy(), chaos,
+        backend_options,
     )
     return scheduler.run()

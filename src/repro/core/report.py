@@ -281,16 +281,31 @@ def render_fig8(result: CampaignResult) -> str:
 # -- Incident journal ------------------------------------------------------------
 
 
-def render_incidents(incidents: list, verbose: bool = False) -> str:
+def render_incidents(
+    incidents: list,
+    verbose: bool = False,
+    *,
+    total: int | None = None,
+    selected: list | None = None,
+) -> str:
     """Human-readable view of an incident journal.
 
     *incidents* is a list of :class:`repro.core.supervisor.Incident`.  The
-    summary groups by kind and error type; *verbose* appends every stored
-    traceback (the repro bundle's human half — the machine half is the
-    JSONL record itself).
+    summary line counts every incident by kind; *verbose* appends every
+    stored traceback (the repro bundle's human half — the machine half is
+    the JSONL record itself).  When *incidents* is a type-filtered view
+    (``incidents --type ...``), pass the journal's *total* and the
+    *selected* kinds so the summary says what was filtered out.
     """
+    filter_note = (
+        f" (showing types {','.join(selected)} of {total} total)"
+        if selected is not None and total is not None else ""
+    )
     if not incidents:
-        return "no incidents recorded"
+        return (
+            f"no incidents recorded{filter_note}" if filter_note
+            else "no incidents recorded"
+        )
     by_kind: dict[str, int] = {}
     by_error: dict[str, int] = {}
     for incident in incidents:
@@ -298,7 +313,8 @@ def render_incidents(incidents: list, verbose: bool = False) -> str:
         by_error[incident.error_type] = by_error.get(incident.error_type, 0) + 1
     lines = [
         f"{len(incidents)} incident(s): "
-        + ", ".join(f"{n} {kind}" for kind, n in sorted(by_kind.items())),
+        + ", ".join(f"{n} {kind}" for kind, n in sorted(by_kind.items()))
+        + filter_note,
         "error types: "
         + ", ".join(f"{n}x {err}" for err, n in sorted(by_error.items())),
         "",
@@ -353,6 +369,12 @@ def render_telemetry(summary: dict) -> str:
     pruning = derived.get("pruning_hit_rate")
     if pruning is not None:
         header += f" · {pruning * 100:.1f}% pruned"
+    fabric = derived.get("fabric")
+    if fabric:
+        header += (
+            f" · fabric: {fabric.get('joins', 0)} join(s), "
+            f"{fabric.get('lease_expired', 0)} lease(s) expired"
+        )
     lines = [header, ""]
     counters = summary.get("counters", {})
     if counters:

@@ -54,6 +54,20 @@ from repro.workloads.base import Workload
 #: bookkeeping steps around termination.
 WATCHDOG_SLACK_STEPS = 10_000
 
+#: Every incident kind any layer journals — the supervisor's contained
+#: injection failures plus the executor fabric's (see
+#: :class:`Incident` and ``repro-campaign incidents --type``).
+INCIDENT_KINDS = (
+    "exception",
+    "watchdog",
+    "worker-crash",
+    "worker-hang",
+    "retry",
+    "lease-expired",
+    "poison-cell",
+    "degraded",
+)
+
 
 @dataclass
 class Incident:
@@ -66,7 +80,10 @@ class Incident:
     ``"worker-hang"`` (a silent or over-deadline worker was killed after
     ignoring a soft cancel), ``"retry"`` (a cell was rescheduled — pure
     bookkeeping, never counted against the incident budget),
-    ``"poison-cell"`` (a cell exhausted its attempt budget and was
+    ``"lease-expired"`` (a cell's ownership lease ran out because its
+    worker — typically on the wrong side of a network partition — went
+    unreachable; the cell was reclaimed and rescheduled, also pure
+    bookkeeping), ``"poison-cell"`` (a cell exhausted its attempt budget and was
     quarantined) and ``"degraded"`` (the worker pool shrank to nothing
     and the scheduler fell back to in-process serial execution).
     Fabric incidents carry ``sample_index``/``inject_cycle`` of ``-1``

@@ -87,6 +87,22 @@ class Telemetry:
         pruning_rate = None
         if (pruned + undecided) and samples:
             pruning_rate = round(pruned / samples, 6)
+        # Distributed-fabric health (socket coordinator + leases): absent
+        # entirely for runs that never touched that machinery.
+        fabric_keys = {
+            "joins": "exec.fabric.joins",
+            "rejoins": "exec.fabric.rejoins",
+            "stale_joins": "exec.fabric.stale_joins",
+            "corrupt_frames": "exec.fabric.corrupt_frames",
+            "stale_frames": "exec.fabric.stale_frames",
+            "lease_expired": "exec.lease_expired",
+        }
+        fabric = None
+        if any(counter in counters for counter in fabric_keys.values()):
+            fabric = {
+                name: counters.get(counter, 0)
+                for name, counter in fabric_keys.items()
+            }
         return {
             "samples_per_sec": (
                 round(samples / wall, 3) if samples and wall > 0 else None
@@ -105,6 +121,7 @@ class Telemetry:
                 ),
             },
             "mem_hit_rates": mem_rates,
+            "fabric": fabric,
         }
 
     def summary(self, include_trace: bool = True) -> dict:

@@ -97,6 +97,102 @@ def test_chaos_stall_escalates_and_stays_identical(tmp_path):
     assert retry.details["cause"] == "worker-hang"
 
 
+def test_chaos_net_matrix_on_socket_backend_is_byte_identical(tmp_path):
+    """The distributed failure modes: connection drop mid-cell, partition
+    during the checkpoint stream, corrupted frame, stale-epoch rejoin and
+    duplicate delivery — every one byte-identical to serial."""
+    # Network faults surface as instant EOF, so hang escalation is not
+    # part of these scenarios — and a tight hang_timeout would misread
+    # slow socket-worker process startup under load as a stall.
+    policy = ResiliencePolicy(
+        heartbeat_interval=0.05,
+        hang_timeout=30.0,
+        grace_period=0.5,
+        retry_base_delay=0.02,
+        retry_max_delay=0.2,
+        speculate=False,
+    )
+    report = run_chaos(
+        CONFIG,
+        scenarios=(
+            "disconnect", "partition", "corrupt-frame", "stale-epoch",
+            "dup-deliver",
+        ),
+        jobs=2, seed=0, workdir=tmp_path, policy=policy, backend="socket",
+    )
+    by_name = {outcome.scenario: outcome for outcome in report.outcomes}
+    assert report.ok, {
+        name: outcome.detail for name, outcome in by_name.items()
+    }
+    # A severed connection looks like a crash to the scheduler and must
+    # have gone through the reschedule path, not been silently absorbed.
+    for scenario in ("disconnect", "partition"):
+        kinds = _kinds(by_name[scenario])
+        assert "worker-crash" in kinds, (scenario, kinds)
+        assert "retry" in kinds, (scenario, kinds)
+    # The stale rejoin actually happened: the worker consumed its
+    # one-shot marker, so the coordinator saw (and rejected) a join
+    # claiming a dead session's epoch before the clean retry succeeded.
+    stale_flag = (
+        tmp_path / "stale-epoch" / "flags" / "chaos-stale-rejoin.fired"
+    )
+    assert stale_flag.exists()
+
+
+def test_chaos_net_scenarios_refuse_non_socket_backends(tmp_path):
+    with pytest.raises(ValueError, match="socket"):
+        run_chaos(
+            CONFIG, scenarios=("disconnect",), jobs=2, seed=0,
+            workdir=tmp_path, policy=POLICY, backend="multiprocessing",
+        )
+
+
+def test_expired_lease_is_reclaimed_and_stays_byte_identical(tmp_path):
+    """A worker that stops talking (partition-shaped silence) forfeits
+    its cell lease: the cell is reclaimed, journalled as lease-expired,
+    rescheduled from its last acked checkpoint — and the result bytes
+    never move."""
+    from repro.core.campaign import run_campaign
+
+    serial = run_campaign(CONFIG)
+    # Hang escalation pushed out of reach so the *lease*, not the hang
+    # timeout, is what fires on the stalled worker.
+    policy = ResiliencePolicy(
+        heartbeat_interval=0.05,
+        hang_timeout=600.0,
+        grace_period=0.5,
+        retry_base_delay=0.02,
+        retry_max_delay=0.2,
+        lease_factor=0.1,
+        lease_floor=1.0,
+        speculate=False,
+    )
+    spec = build_spec("stall", CONFIG, 0, tmp_path, stall_duration=30.0)
+    supervisor = Supervisor(journal=IncidentJournal())
+    result = run_campaign_parallel(
+        CONFIG, jobs=2, supervisor=supervisor,
+        policy=policy, chaos=spec,
+    )
+    kinds = [incident.kind for incident in supervisor.journal.incidents]
+    assert "lease-expired" in kinds
+    expired = next(
+        incident for incident in supervisor.journal.incidents
+        if incident.kind == "lease-expired"
+    )
+    assert expired.details["age"] > 0
+    assert expired.details["lease"] >= 1.0
+    retry = next(
+        incident for incident in supervisor.journal.incidents
+        if incident.kind == "retry"
+        and incident.details["cause"] == "lease-expired"
+    )
+    assert retry.details["attempt"] >= 1
+    # Lease reclaims are bookkeeping, like retries: journalled, never
+    # counted against the incident budget (the quarantine/crash that
+    # *caused* them is what counts).
+    assert result.to_json() == serial.to_json()
+
+
 def test_chaos_poison_quarantines_then_strict_aborts(tmp_path):
     report = run_chaos(
         CONFIG, scenarios=("poison",), jobs=2, seed=0,
@@ -175,9 +271,59 @@ def test_retry_incidents_render_in_incidents_cli(tmp_path):
     assert {r["kind"] for r in records} >= {"worker-crash", "retry"}
 
 
-def test_cli_sigterm_drains_and_resume_completes(tmp_path):
+def test_incidents_cli_filters_by_type(tmp_path):
+    """``incidents --type retry`` narrows both the table and the JSON
+    feed to the requested kinds and says so in the summary line."""
+    import json
+
+    journal_path = tmp_path / "incidents.jsonl"
+    supervisor = Supervisor(journal=IncidentJournal(journal_path))
+    run_campaign_parallel(
+        CONFIG, jobs=2, supervisor=supervisor,
+        _crash_spec={
+            "cell": ["crc32", "regfile", 1],
+            "flag": str(tmp_path / "crashed.flag"),
+        },
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        Path(__file__).resolve().parent.parent / "src"
+    ) + os.pathsep + env.get("PYTHONPATH", "")
+    base = [sys.executable, "-m", "repro.core.cli", "incidents",
+            "--journal", str(journal_path)]
+
+    out = subprocess.run(
+        base + ["--type", "retry", "--json"],
+        env=env, capture_output=True, timeout=60,
+    )
+    assert out.returncode == 0, out.stderr.decode()
+    records = json.loads(out.stdout)
+    assert records and {r["kind"] for r in records} == {"retry"}
+
+    out = subprocess.run(
+        base + ["--type", "retry,lease-expired,poison-cell"],
+        env=env, capture_output=True, timeout=60,
+    )
+    assert out.returncode == 0, out.stderr.decode()
+    text = out.stdout.decode()
+    assert "showing types" in text
+    assert "worker-crash" not in text
+
+    out = subprocess.run(
+        base + ["--type", "gremlins"],
+        env=env, capture_output=True, timeout=60,
+    )
+    assert out.returncode == 2
+    assert "gremlins" in out.stderr.decode()
+
+
+@pytest.mark.parametrize("backend", ["multiprocessing", "socket"])
+def test_cli_sigterm_drains_and_resume_completes(tmp_path, backend):
     """SIGTERM is the operator's Ctrl-C: graceful drain, checkpoint
-    flush, exit 143, and a later --resume lands on the reference bytes."""
+    flush, exit 143, and a later --resume lands on the reference bytes.
+
+    The socket row is the satellite contract: a distributed coordinator
+    drains its TCP workers exactly like local ones."""
     if os.name != "posix":  # pragma: no cover
         pytest.skip("signal delivery is POSIX-only")
     config_args = [
@@ -195,7 +341,7 @@ def test_cli_sigterm_drains_and_resume_completes(tmp_path):
     ) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.core.cli", "run", *config_args,
-         "--jobs", "2", "--store", str(store),
+         "--jobs", "2", "--backend", backend, "--store", str(store),
          "--out", str(tmp_path / "ignored.json")],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
         start_new_session=True,
@@ -211,8 +357,8 @@ def test_cli_sigterm_drains_and_resume_completes(tmp_path):
 
     out = subprocess.run(
         [sys.executable, "-m", "repro.core.cli", "run", *config_args,
-         "--jobs", "2", "--store", str(store), "--resume",
-         "--out", str(tmp_path / "resumed.json")],
+         "--jobs", "2", "--backend", backend, "--store", str(store),
+         "--resume", "--out", str(tmp_path / "resumed.json")],
         env=env, capture_output=True, timeout=300,
     )
     assert out.returncode == 0, out.stderr.decode()

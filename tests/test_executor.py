@@ -17,7 +17,7 @@ import pytest
 
 from repro.core.campaign import CampaignConfig, run_campaign
 from repro.core.executor import (
-    BACKENDS,
+    ALL_BACKEND_NAMES,
     MAX_FRAME_BYTES,
     ResiliencePolicy,
     WorkerSpec,
@@ -27,6 +27,7 @@ from repro.core.executor import (
 )
 from repro.core.parallel import run_campaign_parallel
 from repro.core.supervisor import IncidentJournal, Supervisor
+from repro.errors import ConfigError
 
 GRID = CampaignConfig(
     workloads=("crc32",),
@@ -43,17 +44,18 @@ def serial_reference():
 
 
 # ---------------------------------------------------------------------------
-# Conformance: every backend produces the serial bytes
+# Conformance: every backend (multiprocessing, subprocess, socket)
+# produces the serial bytes
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("backend", sorted(ALL_BACKEND_NAMES))
 def test_backend_matches_serial_byte_identically(backend, serial_reference):
     result = run_campaign_parallel(GRID, jobs=2, backend=backend)
     assert result.to_json() == serial_reference.to_json()
 
 
-@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("backend", sorted(ALL_BACKEND_NAMES))
 def test_backend_contains_worker_crash(backend, serial_reference, tmp_path):
     supervisor = Supervisor(journal=IncidentJournal())
     result = run_campaign_parallel(
@@ -149,3 +151,22 @@ def test_backoff_grows_then_caps():
     )
     delays = [policy.backoff("cell", attempt) for attempt in range(1, 6)]
     assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+
+def test_policy_defaults_validate():
+    ResiliencePolicy().validate()
+
+
+@pytest.mark.parametrize("overrides,fragment", [
+    ({"heartbeat_interval": 0.0}, "heartbeat_interval"),
+    ({"lease_factor": -1.0}, "lease_factor"),
+    ({"lease_floor": 0.0}, "lease_floor"),
+    ({"max_attempts": 0}, "max_attempts"),
+    ({"retry_jitter": -0.1}, "retry_jitter"),
+    ({"retry_base_delay": 5.0, "retry_max_delay": 1.0}, "retry_max_delay"),
+    ({"heartbeat_interval": 60.0, "hang_timeout": 1.0},
+     "heartbeat_interval"),
+])
+def test_policy_validate_rejects_bad_knobs(overrides, fragment):
+    with pytest.raises(ConfigError, match=fragment):
+        ResiliencePolicy(**overrides).validate()

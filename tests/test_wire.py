@@ -1,0 +1,137 @@
+"""Frame codec tests: the shared wire layer under both stream backends.
+
+Every hostile-input case must come back as a diagnosed non-frame, never
+an exception — a codec that can crash its reader is itself an injection
+target (DESIGN.md §12).
+"""
+
+import io
+import struct
+
+import pytest
+
+from repro.core.wire import (
+    FRAME_CORRUPT,
+    FRAME_EOF,
+    FRAME_OK,
+    FRAME_OVERSIZE,
+    FRAME_STALE,
+    FRAME_TORN,
+    HANDSHAKE_EPOCH,
+    MAX_FRAME_BYTES,
+    read_frame,
+    read_frame_ex,
+    write_corrupt_frame,
+    write_frame,
+)
+
+_HEADER = struct.Struct(">IIQ")
+
+
+def _encoded(message, epoch=HANDSHAKE_EPOCH) -> bytes:
+    stream = io.BytesIO()
+    write_frame(stream, message, epoch)
+    return stream.getvalue()
+
+
+def test_roundtrip_plain():
+    stream = io.BytesIO(_encoded(("task", [1, 2, 3])))
+    assert read_frame(stream) == ("task", [1, 2, 3])
+
+
+def test_roundtrip_carries_epoch():
+    stream = io.BytesIO(_encoded(("heartbeat", 0, 1, 2), epoch=77))
+    frame, status = read_frame_ex(stream)
+    assert status == FRAME_OK
+    assert frame.epoch == 77
+    assert frame.message == ("heartbeat", 0, 1, 2)
+
+
+def test_multiple_frames_in_sequence():
+    stream = io.BytesIO(
+        _encoded("first", epoch=5) + _encoded("second", epoch=5)
+    )
+    assert read_frame(stream, epoch=5) == "first"
+    assert read_frame(stream, epoch=5) == "second"
+    frame, status = read_frame_ex(stream, epoch=5)
+    assert frame is None and status == FRAME_EOF
+
+
+def test_clean_eof():
+    frame, status = read_frame_ex(io.BytesIO(b""))
+    assert frame is None and status == FRAME_EOF
+
+
+def test_torn_header():
+    frame, status = read_frame_ex(io.BytesIO(b"\x00\x00\x00"))
+    assert frame is None and status == FRAME_TORN
+
+
+def test_torn_payload():
+    encoded = _encoded({"key": "value"})
+    frame, status = read_frame_ex(io.BytesIO(encoded[:-3]))
+    assert frame is None and status == FRAME_TORN
+
+
+def test_oversized_length_is_refused_without_allocating():
+    header = _HEADER.pack(MAX_FRAME_BYTES + 1, 0, 0)
+    frame, status = read_frame_ex(io.BytesIO(header))
+    assert frame is None and status == FRAME_OVERSIZE
+
+
+def test_crc_mismatch_is_corrupt():
+    encoded = bytearray(_encoded("payload under test"))
+    encoded[-1] ^= 0xFF  # flip a payload bit; header CRC now lies
+    frame, status = read_frame_ex(io.BytesIO(bytes(encoded)))
+    assert frame is None and status == FRAME_CORRUPT
+
+
+def test_unpicklable_payload_with_honest_crc_is_corrupt():
+    import zlib
+
+    payload = b"\x00not a pickle\x00"
+    header = _HEADER.pack(len(payload), zlib.crc32(payload), 0)
+    frame, status = read_frame_ex(io.BytesIO(header + payload))
+    assert frame is None and status == FRAME_CORRUPT
+
+
+def test_write_corrupt_frame_is_diagnosed_and_consumes_exactly_one_frame():
+    stream = io.BytesIO()
+    write_corrupt_frame(stream, epoch=9)
+    write_frame(stream, "survivor", epoch=9)
+    stream.seek(0)
+    frame, status = read_frame_ex(stream, epoch=9)
+    assert frame is None and status == FRAME_CORRUPT
+    # The honest length means the reader resynchronises on the next frame.
+    assert read_frame(stream, epoch=9) == "survivor"
+
+
+def test_stale_epoch_refused_before_unpickling():
+    class Exploding:
+        def __reduce__(self):
+            return (_explode, ())
+
+    stream = io.BytesIO(_encoded(Exploding(), epoch=3))
+    frame, status = read_frame_ex(stream, epoch=4)
+    assert frame is None and status == FRAME_STALE
+
+
+def _explode():  # pragma: no cover - must never run
+    raise AssertionError("stale payload was unpickled")
+
+
+def test_expected_epoch_accepts_matching_frames():
+    stream = io.BytesIO(_encoded("hello", epoch=3))
+    assert read_frame(stream, epoch=3) == "hello"
+
+
+def test_none_epoch_accepts_any_session():
+    stream = io.BytesIO(_encoded("hello", epoch=12345))
+    assert read_frame(stream, epoch=None) == "hello"
+
+
+@pytest.mark.parametrize("bad", [b"", b"\x01", b"\x00" * 15])
+def test_truncated_streams_never_raise(bad):
+    frame, status = read_frame_ex(io.BytesIO(bad))
+    assert frame is None
+    assert status in (FRAME_EOF, FRAME_TORN)
