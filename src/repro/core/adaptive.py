@@ -246,6 +246,13 @@ def run_campaign_adaptive(
     """
     if ci_target < 0:
         raise ConfigError(f"ci_target must be >= 0: {ci_target}")
+    if config.cores != 1:
+        # Waves restore from single-core golden-prefix checkpoints, which
+        # have no SMP counterpart; run SMP campaigns with exact replay.
+        raise ConfigError(
+            "adaptive sampling supports single-core campaigns only "
+            f"(cores={config.cores})"
+        )
     tel = obs.active()
     cells = [
         _CellState(workload=w, component=c, cardinality=k)

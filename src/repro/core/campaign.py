@@ -93,19 +93,49 @@ CHECKPOINT_CACHE_SIZE = 2
 _GOLDEN_CACHE: _BoundedCache = _BoundedCache(GOLDEN_CACHE_SIZE)
 
 
+def build_system(
+    workload: Workload, core_cfg: CoreConfig, cores: int = 1
+):
+    """A fresh machine with *workload* loaded: ``System`` or ``SMPSystem``.
+
+    Parallel workloads carry one program image for every core count (the
+    spawn fallback makes placement architecture-invisible), so the same
+    call works for serial workloads at ``cores=1`` and parallel ones at
+    any count.  Both system classes expose the identical run / run_until /
+    injectable_targets / publish_metrics surface the campaign needs.
+    """
+    if cores == 1:
+        system = System(core_cfg)
+        system.load(workload.program())
+        return system
+    from repro.cpu.smp import SMPSystem
+
+    system = SMPSystem(core_cfg, cores)
+    system.load(workload.program_for(cores))
+    return system
+
+
 def golden_run(
     workload: Workload,
     core_cfg: CoreConfig = DEFAULT_CONFIG,
     max_cycles: int = GOLDEN_MAX_CYCLES,
+    cores: int = 1,
 ) -> RunResult:
     """Fault-free execution of *workload* (cached per workload + platform).
 
     The result is validated against the workload's independent reference
     output: a mismatch means the toolchain itself is broken, and no
-    injection campaign on top of it would mean anything.
+    injection campaign on top of it would mean anything.  *cores* selects
+    the SMP machine; parallel workloads produce the same architectural
+    output at every core count, so the reference check is unchanged.  The
+    single-core cache key is exactly the historical one, keeping every
+    existing caller's hits (and bytes) identical.
     """
     tel = obs.active()
-    cache_key = (workload.name, core_cfg)
+    if cores == 1:
+        cache_key = (workload.name, core_cfg)
+    else:
+        cache_key = (workload.name, core_cfg, cores)
     cached = _GOLDEN_CACHE.get(cache_key)
     if cached is not None:
         if tel is not None:
@@ -114,8 +144,7 @@ def golden_run(
     if tel is not None:
         tel.metrics.counter("exec.lru.golden.misses").inc()
     with obs.span("golden-run", workload=workload.name):
-        system = System(core_cfg)
-        system.load(workload.program())
+        system = build_system(workload, core_cfg, cores)
         result = system.run(max_cycles=max_cycles)
     if result.status is not RunStatus.FINISHED:
         raise ConfigError(
@@ -142,6 +171,10 @@ class CampaignConfig:
     seed: int = 0
     cluster: ClusterShape = field(default_factory=ClusterShape)
     placement: str = CLUSTERED
+    #: Core count of the simulated machine.  1 (the default) is the
+    #: paper's single-core setup and leaves every cell key, seed and
+    #: result byte-identical to a config without the field.
+    cores: int = 1
 
     def resolved_workloads(self) -> tuple[str, ...]:
         return self.workloads or tuple(workload_names())
@@ -176,20 +209,24 @@ class CampaignConfig:
         from repro.mem.paging import PAGE_SHIFT
 
         platform_cfg = dataclasses.replace(core_cfg, check_invariants=False)
-        blob = json.dumps(
-            {
-                "workload": workload,
-                "component": component,
-                "cardinality": cardinality,
-                "samples": self.samples,
-                "seed": self.seed,
-                "cluster": [self.cluster.rows, self.cluster.cols],
-                "placement": self.placement,
-                "platform": repr(platform_cfg) + f"/page{PAGE_SHIFT}",
-                "version": 2,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "workload": workload,
+            "component": component,
+            "cardinality": cardinality,
+            "samples": self.samples,
+            "seed": self.seed,
+            "cluster": [self.cluster.rows, self.cluster.cols],
+            "placement": self.placement,
+            "platform": repr(platform_cfg) + f"/page{PAGE_SHIFT}",
+            "version": 2,
+        }
+        if self.cores != 1:
+            # The key blob gains a "cores" entry only off the single-core
+            # default, so every pre-SMP store keeps its keys and a
+            # --cores 1 campaign stays byte-identical to one predating
+            # the flag.
+            payload["cores"] = self.cores
+        blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
@@ -456,8 +493,15 @@ def run_one_injection(
     trace: dict | None = None,
     verify: bool = False,
     liveness=None,
+    cores: int = 1,
 ) -> tuple[FaultClass, RunResult, FaultMask]:
     """One complete injection experiment; see the module docstring.
+
+    *cores* > 1 runs the experiment on an N-core SMP machine (the six
+    standard component names alias core 0's private structures plus the
+    shared L2, so a cell means the same thing at every core count);
+    checkpoint restore and liveness pruning are single-core services, so
+    SMP injections always resimulate their golden prefix.
 
     Pass *checkpoints* (see :class:`CheckpointedWorkload`) to skip
     re-simulating the fault-free prefix; the outcome is identical.
@@ -476,7 +520,12 @@ def run_one_injection(
     from the same RNG stream against the recorded geometry, so pruned
     results are byte-identical to unpruned ones.
     """
-    golden = golden_run(workload, core_cfg)
+    if cores != 1 and (checkpoints is not None or liveness is not None):
+        raise ConfigError(
+            "checkpoint restore and liveness pruning are single-core "
+            f"services (cores={cores})"
+        )
+    golden = golden_run(workload, core_cfg, cores=cores)
     max_cycles = TIMEOUT_FACTOR * golden.cycles
     # Phase timing is guarded per site so the telemetry-off path costs one
     # attribute check; none of it touches RNGs or simulation state, so the
@@ -514,8 +563,7 @@ def run_one_injection(
     if checkpoints is not None:
         system = checkpoints.system_at(inject_cycle)
     else:
-        system = System(core_cfg)
-        system.load(workload.program())
+        system = build_system(workload, core_cfg, cores)
     if tel is not None:
         restored = clock()
         tel.metrics.histogram("time.phase.restore").observe(restored - begin)
@@ -553,7 +601,7 @@ def run_one_injection(
     if verify and verdict is FaultClass.MASKED:
         from repro.verify.differential import check_masked_run
 
-        check_masked_run(workload, result, core_cfg)
+        check_masked_run(workload, result, core_cfg, cores=cores)
     if tel is not None:
         tel.metrics.histogram("time.phase.classify").observe(clock() - ran)
         tel.metrics.counter("sim.injections").inc()
@@ -657,18 +705,28 @@ def run_cell(
     the parallel executor and of Ctrl-C handling.
     """
     tel = obs.active()
+    cores = config.cores
+    if cores != 1 and prune:
+        raise ConfigError(
+            "liveness pruning traces a single-core golden run; "
+            f"it cannot prune an SMP campaign (cores={cores})"
+        )
     workload = get_workload(workload_name)
-    golden = golden_run(workload, core_cfg)
+    golden = golden_run(workload, core_cfg, cores=cores)
     if verify:
         from repro.verify.differential import verify_workload
 
-        verify_workload(workload, core_cfg)
+        verify_workload(workload, core_cfg, cores=cores)
     cell_seed = f"{config.seed}:{workload_name}:{component}:{cardinality}"
     generator = MultiBitFaultGenerator(
         cluster=config.cluster, mode=config.placement, seed=cell_seed
     )
     cycle_rng = random.Random(f"repro-cycles:{cell_seed}")
-    checkpoints = _checkpoints_for(workload, core_cfg)
+    # Golden-prefix checkpoints deepcopy a single-core System; SMP cells
+    # resimulate the prefix instead (correct, just slower).
+    checkpoints = (
+        _checkpoints_for(workload, core_cfg) if cores == 1 else None
+    )
     liveness = None
     if prune:
         from repro.core.liveness import liveness_for
@@ -708,13 +766,13 @@ def run_cell(
                     workload, component, generator, cardinality, inject_cycle,
                     core_cfg, checkpoints=checkpoints,
                     cell_seed=cell_seed, sample_index=index,
-                    verify=verify, liveness=liveness,
+                    verify=verify, liveness=liveness, cores=cores,
                 )
             else:
                 fault_class, _, _ = run_one_injection(
                     workload, component, generator, cardinality, inject_cycle,
                     core_cfg, checkpoints=checkpoints, verify=verify,
-                    liveness=liveness,
+                    liveness=liveness, cores=cores,
                 )
             if fault_class is not None:
                 counts.add(fault_class)

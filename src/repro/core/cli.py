@@ -81,6 +81,13 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--samples", type=int, default=100)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--cores", type=int, default=1, metavar="N",
+        help="simulate an N-core SMP machine sharing one L2 (default 1, "
+        "the paper's machine; --cores 1 is byte-identical to omitting "
+        "the flag, other counts key their own cache cells; incompatible "
+        "with --prune-masked and --adaptive)",
+    )
+    parser.add_argument(
         "--cluster", default="3x3", help="cluster shape ROWSxCOLS"
     )
     parser.add_argument(
@@ -215,6 +222,7 @@ def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
         seed=args.seed,
         cluster=ClusterShape(int(rows), int(cols)),
         placement=args.placement,
+        cores=getattr(args, "cores", 1),
     )
 
 
@@ -340,6 +348,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend_options = _backend_options(args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.cpu.smp import MAX_CORES
+
+    if not 1 <= config.cores <= MAX_CORES:
+        print(
+            f"error: --cores must be in 1..{MAX_CORES} "
+            f"(got {config.cores})",
+            file=sys.stderr,
+        )
+        return 2
+    if config.cores != 1 and (args.prune_masked or args.adaptive):
+        print(
+            "error: --cores > 1 is incompatible with --prune-masked and "
+            "--adaptive (both replay single-core golden state)",
+            file=sys.stderr,
+        )
         return 2
     if args.adaptive and (args.store or args.resume):
         # Adaptive cells have no fixed sample count, so they cannot share
@@ -594,7 +618,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.verify.fuzz import run_fuzz
+    from repro.verify.fuzz import run_fuzz, run_smp_fuzz
 
     def progress(done: int, total: int, report) -> None:
         status = "ok" if report.ok else f"{len(report.divergences)} DIVERGENT"
@@ -604,10 +628,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    report = run_fuzz(
-        args.programs, seed=args.seed, length=args.length,
-        progress=progress if not args.quiet else None,
-    )
+    if args.cores > 1:
+        report = run_smp_fuzz(
+            args.programs, seed=args.seed, length=args.length,
+            cores=args.cores,
+            progress=progress if not args.quiet else None,
+        )
+    else:
+        report = run_fuzz(
+            args.programs, seed=args.seed, length=args.length,
+            progress=progress if not args.quiet else None,
+        )
     if report.ok:
         print(
             f"fuzz: {report.programs} programs, {report.instructions:,} "
@@ -877,6 +908,12 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument(
         "--length", type=int, default=40, metavar="N",
         help="approximate instructions generated per program (default 40)",
+    )
+    p_fuzz.add_argument(
+        "--cores", type=int, default=1, metavar="N",
+        help="fuzz N-core spawn/amo programs against the lock-step SMP "
+        "oracle with the coherence auditor armed (default 1: the "
+        "single-core fuzzer)",
     )
     p_fuzz.add_argument(
         "--quiet", action="store_true", help="suppress per-program progress",

@@ -231,6 +231,7 @@ class Supervisor:
         sample_index: int = 0,
         verify: bool = False,
         liveness=None,
+        cores: int = 1,
     ) -> FaultClass | None:
         """One injection inside the containment boundary.
 
@@ -241,17 +242,20 @@ class Supervisor:
         escalated in ``--strict`` mode.  *liveness* is forwarded to
         :func:`~repro.core.campaign.run_one_injection` for mask pruning;
         a pruner audit failure is a verification incident like any other.
+        *cores* selects the SMP machine; the watchdog budget derives from
+        that machine's own golden run, so a slower multi-core schedule
+        never trips the step budget spuriously.
         """
         trace: dict = {}
         max_steps = None
         if self.watchdog:
-            golden = golden_run(workload, core_cfg)
+            golden = golden_run(workload, core_cfg, cores=cores)
             max_steps = TIMEOUT_FACTOR * golden.cycles + WATCHDOG_SLACK_STEPS
         try:
             fault_class, _, _ = run_one_injection(
                 workload, component, generator, cardinality, inject_cycle,
                 core_cfg, checkpoints=checkpoints, max_steps=max_steps,
-                trace=trace, verify=verify, liveness=liveness,
+                trace=trace, verify=verify, liveness=liveness, cores=cores,
             )
             return fault_class
         except SimAssertion:

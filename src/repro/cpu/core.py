@@ -114,6 +114,15 @@ class OutOfOrderCore:
         self.last_commit_cycle = 0
         self.stats = CoreStats()
 
+        #: Which SMP core this pipeline is (0 in the single-core System);
+        #: forwarded to the kernel so COREID/SPAWN know the caller.
+        self.core_id = 0
+        #: Commit-time load revalidation (sequential consistency).  Enabled
+        #: only by the SMP system: a load whose value changed between execute
+        #: and commit (a remote store won the race) is squashed and replayed,
+        #: so committed loads always observe the coherent memory image.
+        self.sc_replay_check = False
+
         #: Set when the run reaches a terminal state.
         self.result: RunResult | None = None
 
@@ -247,8 +256,21 @@ class OutOfOrderCore:
                 )
                 return True
             inst = uop.inst
+            if (
+                self.sc_replay_check
+                and inst.is_load
+                and not self._load_value_current(uop)
+            ):
+                # A remote store changed the location after this load
+                # executed: squash the load and everything younger, refetch.
+                self._squash_younger_than(uop.seq - 1)
+                self._redirect(uop.pc)
+                return True
             if inst.is_store:
                 if not self._commit_store(uop):
+                    return True
+            elif inst.is_amo:
+                if not self._commit_amo(uop):
                     return True
             elif inst.is_sys:
                 if not self._commit_syscall(uop):
@@ -284,12 +306,61 @@ class OutOfOrderCore:
         self.stats.stores += 1
         return True
 
+    def _load_value_current(self, uop: MicroOp) -> bool:
+        """Does the memory image still hold the value this load observed?"""
+        paddr = uop.paddr
+        if paddr is None or uop.exception is not None:
+            return True
+        size = uop.mem_size
+        coherence = self.dcache.coherence
+        if coherence is not None:
+            data = coherence.peek_range(self.dcache, paddr, size)
+        else:
+            data = self.dcache.peek_range(paddr, size)
+        return int.from_bytes(data, "little") == uop.result
+
+    def _commit_amo(self, uop: MicroOp) -> bool:
+        """Retire an atomic read-modify-write; False ends the run.
+
+        The whole RMW happens here at the head of the ROB: fetch stalled
+        behind the AMO, every older store has already committed, and the
+        coherent write makes the update visible to every other core before
+        any younger instruction of any core can be affected by it.
+        """
+        paddr = uop.paddr
+        assert paddr is not None and uop.store_data is not None
+        if paddr < self.cfg.layout.kernel_reserved:
+            self._finish(
+                RunStatus.CRASH_KERNEL, CrashReason.KERNEL_PANIC, uop.pc,
+                f"store to kernel frame at phys 0x{paddr:08x}",
+            )
+            return False
+        old, _ = self.dcache.read_word(paddr)
+        operand = uop.store_data
+        if uop.inst.op is Op.AMOADD:
+            new = (old + operand) & MASK32
+        else:  # AMOSWAP
+            new = operand & MASK32
+        self.dcache.write(paddr, new.to_bytes(4, "little"))
+        uop.result = old
+        uop.store_data = new
+        if uop.dest >= 0:
+            self.prf.values[uop.dest] = old
+            self.prf.ready[uop.dest] = True
+        self.stats.loads += 1
+        self.stats.stores += 1
+        # Resume fetch past the serializing atomic.
+        self.fetch_pc = (uop.pc + 4) & MASK32
+        self.fetch_stall = None
+        self.fetch_ready_cycle = self.cycle + self.cfg.mispredict_penalty
+        return True
+
     def _commit_syscall(self, uop: MicroOp) -> bool:
         """Service a syscall at commit; False ends the run."""
         assert uop.sys_args is not None
         self.stats.syscalls += 1
         ret, exited, crash = self.kernel.do_syscall(
-            uop.inst.imm, *uop.sys_args
+            uop.inst.imm, *uop.sys_args, core=self.core_id
         )
         if crash is not None:
             self._finish(RunStatus.CRASH_PROCESS, crash, uop.pc)
@@ -412,6 +483,8 @@ class OutOfOrderCore:
             return self._execute_load(uop, vals)
         if inst.is_store:
             return self._execute_store(uop, vals)
+        if inst.is_amo:
+            return self._execute_amo(uop, vals)
         if inst.is_cond_branch:
             b = vals[1] if len(vals) > 1 else 0  # BEQZ/BNEZ have one source
             taken = BRANCH_CONDS[op](vals[0], b)
@@ -490,6 +563,23 @@ class OutOfOrderCore:
         uop.paddr = paddr
         mask = MASK32 if size == 4 else 0xFF
         uop.store_data = vals[0] & mask
+        return lat
+
+    def _execute_amo(self, uop: MicroOp, vals: list[int]) -> int:
+        """Translate an AMO's address; the RMW itself happens at commit."""
+        vaddr = vals[0]
+        if vaddr & 3:
+            uop.exception = CrashReason.MISALIGNED
+            uop.exc_detail = f"amo at 0x{vaddr:08x}"
+            return 1
+        paddr, lat, fault = self.dtlb.translate(vaddr, ACCESS_STORE)
+        if fault is not None:
+            uop.exception = _FAULT_TO_REASON[fault]
+            uop.exc_detail = f"amo at 0x{vaddr:08x}"
+            return lat
+        uop.paddr = paddr
+        # Stash the operand; _commit_amo replaces it with the stored value.
+        uop.store_data = vals[1]
         return lat
 
     # ------------------------------------------------------ control flow fixes
@@ -610,6 +700,11 @@ class OutOfOrderCore:
                 return True
             elif inst.is_sys:
                 self.fetch_stall = "sys"
+                return True
+            elif inst.is_amo:
+                # Atomics serialize the pipeline: the RMW at commit resumes
+                # fetch at pc+4, so no younger op is in flight around it.
+                self.fetch_stall = "amo"
                 return True
             elif inst.is_halt:
                 self.fetch_stall = "halt"

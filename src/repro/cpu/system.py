@@ -24,6 +24,62 @@ from repro.cpu.core import OutOfOrderCore
 COMPONENT_NAMES = ("l1d", "l1i", "l2", "regfile", "dtlb", "itlb")
 
 
+class CoreBundle:
+    """One core's private state: L1 caches, TLBs, and the pipeline.
+
+    The single-core :class:`System` builds exactly one bundle with an empty
+    name *prefix*, so its component names ("l1d", "itlb", ...) — and hence
+    every campaign cell key and telemetry counter — are unchanged.  The SMP
+    system builds one bundle per core with a ``c{k}.`` prefix around one
+    shared L2, which is what keys per-core cache/TLB telemetry by core id.
+    """
+
+    def __init__(
+        self,
+        cfg: CoreConfig,
+        core_id: int,
+        prefix: str,
+        l2: Cache,
+        page_table: PageTable,
+        kernel: Kernel,
+    ) -> None:
+        self.core_id = core_id
+        self.prefix = prefix
+        self.l1i = Cache(
+            prefix + "l1i", cfg.l1i_size, cfg.l1i_assoc, cfg.line_size,
+            cfg.l1i_latency, l2,
+        )
+        self.l1d = Cache(
+            prefix + "l1d", cfg.l1d_size, cfg.l1d_assoc, cfg.line_size,
+            cfg.l1d_latency, l2,
+        )
+        self.itlb = TLB(prefix + "itlb", page_table, cfg.tlb_entries)
+        self.dtlb = TLB(prefix + "dtlb", page_table, cfg.tlb_entries)
+        self.pipe = OutOfOrderCore(
+            cfg, self.l1i, self.l1d, self.itlb, self.dtlb, kernel
+        )
+        self.pipe.core_id = core_id
+
+    def fresh_pipe(self, cfg: CoreConfig, kernel: Kernel) -> OutOfOrderCore:
+        """Replace the pipeline for a (re)spawned worker, keeping the caches.
+
+        Verification taps and the SMP load-replay mode carry over so a
+        respawned core stays under the same harness as the original.
+        """
+        pipe = OutOfOrderCore(
+            cfg, self.l1i, self.l1d, self.itlb, self.dtlb, kernel
+        )
+        pipe.core_id = self.core_id
+        pipe.sc_replay_check = self.pipe.sc_replay_check
+        pipe.commit_hook = self.pipe.commit_hook
+        pipe.invariant_checker = self.pipe.invariant_checker
+        # Hardware counters belong to the core, not the thread: accumulate
+        # across every thread that ever ran here.
+        pipe.stats = self.pipe.stats
+        self.pipe = pipe
+        return pipe
+
+
 class System:
     """One simulated machine instance."""
 
@@ -35,21 +91,14 @@ class System:
             "l2", cfg.l2_size, cfg.l2_assoc, cfg.line_size,
             cfg.l2_latency, self.mem,
         )
-        self.l1i = Cache(
-            "l1i", cfg.l1i_size, cfg.l1i_assoc, cfg.line_size,
-            cfg.l1i_latency, self.l2,
-        )
-        self.l1d = Cache(
-            "l1d", cfg.l1d_size, cfg.l1d_assoc, cfg.line_size,
-            cfg.l1d_latency, self.l2,
-        )
         self.page_table = PageTable(cfg.tlb_walk_latency)
-        self.itlb = TLB("itlb", self.page_table, cfg.tlb_entries)
-        self.dtlb = TLB("dtlb", self.page_table, cfg.tlb_entries)
         self.kernel = Kernel()
-        self.core = OutOfOrderCore(
-            cfg, self.l1i, self.l1d, self.itlb, self.dtlb, self.kernel
-        )
+        bundle = CoreBundle(cfg, 0, "", self.l2, self.page_table, self.kernel)
+        self.l1i = bundle.l1i
+        self.l1d = bundle.l1d
+        self.itlb = bundle.itlb
+        self.dtlb = bundle.dtlb
+        self.core = bundle.pipe
         if cfg.check_invariants:
             from repro.verify.invariants import InvariantChecker
 

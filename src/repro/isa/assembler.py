@@ -47,6 +47,7 @@ _R_TYPE = {
     "mod": Op.MOD, "and": Op.AND, "orr": Op.ORR, "eor": Op.EOR,
     "lsl": Op.LSL, "lsr": Op.LSR, "asr": Op.ASR, "slt": Op.SLT,
     "sltu": Op.SLTU,
+    "amoadd": Op.AMOADD, "amoswap": Op.AMOSWAP,
 }
 _I_ALU = {
     "addi": Op.ADDI, "andi": Op.ANDI, "orri": Op.ORRI, "eori": Op.EORI,

@@ -19,6 +19,7 @@ fetch path cheap and lets all pipeline stages share one object.
 from __future__ import annotations
 
 from repro.isa.opcodes import (
+    AMOS,
     COND_BRANCHES,
     DEFAULT_LATENCY,
     DIRECT_JUMPS,
@@ -55,7 +56,7 @@ class DecodedInst:
     __slots__ = (
         "raw", "op", "fmt", "rd", "rs1", "rs2", "imm",
         "reads", "writes", "illegal",
-        "is_load", "is_store", "mem_size", "is_cond_branch",
+        "is_load", "is_store", "is_amo", "mem_size", "is_cond_branch",
         "is_direct_jump", "is_indirect_jump", "is_control",
         "is_sys", "is_halt", "latency",
     )
@@ -83,6 +84,7 @@ class DecodedInst:
         self.illegal = False
         self.is_load = op in LOADS
         self.is_store = op in STORES
+        self.is_amo = op in AMOS
         self.mem_size = MEM_SIZE.get(op, 0)
         self.is_cond_branch = op in COND_BRANCHES
         self.is_direct_jump = op in DIRECT_JUMPS
@@ -150,6 +152,7 @@ class DecodedInst:
         self.illegal = True
         self.is_load = False
         self.is_store = False
+        self.is_amo = False
         self.mem_size = 0
         self.is_cond_branch = False
         self.is_direct_jump = False

@@ -58,6 +58,9 @@ class Op(enum.IntEnum):
     LDRB = 0x21
     STR = 0x22
     STRB = 0x23
+    # Atomics (read-modify-write a word, returning the old value)
+    AMOADD = 0x24
+    AMOSWAP = 0x25
     # Compare-and-branch (pc-relative word offsets)
     BEQ = 0x28
     BNE = 0x29
@@ -87,6 +90,7 @@ FORMAT_OF: dict[Op, Format] = {
     Op.LSLI: Format.I, Op.LSRI: Format.I, Op.ASRI: Format.I, Op.SLTI: Format.I,
     Op.MOVI: Format.I, Op.LUI: Format.I,
     Op.LDR: Format.I, Op.LDRB: Format.I, Op.STR: Format.I, Op.STRB: Format.I,
+    Op.AMOADD: Format.R, Op.AMOSWAP: Format.R,
     Op.BEQ: Format.BC, Op.BNE: Format.BC, Op.BLT: Format.BC, Op.BGE: Format.BC,
     Op.BLTU: Format.BC, Op.BGEU: Format.BC,
     Op.BEQZ: Format.BZ, Op.BNEZ: Format.BZ,
@@ -97,10 +101,14 @@ FORMAT_OF: dict[Op, Format] = {
 
 #: Opcodes whose I-format immediate is *not* a source operand but an address
 #: offset, together with the memory access size in bytes.
-MEM_SIZE: dict[Op, int] = {Op.LDR: 4, Op.LDRB: 1, Op.STR: 4, Op.STRB: 1}
+MEM_SIZE: dict[Op, int] = {
+    Op.LDR: 4, Op.LDRB: 1, Op.STR: 4, Op.STRB: 1,
+    Op.AMOADD: 4, Op.AMOSWAP: 4,
+}
 
 LOADS = frozenset({Op.LDR, Op.LDRB})
 STORES = frozenset({Op.STR, Op.STRB})
+AMOS = frozenset({Op.AMOADD, Op.AMOSWAP})
 COND_BRANCHES = frozenset(
     {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU, Op.BEQZ, Op.BNEZ}
 )

@@ -8,6 +8,14 @@ output file is corrupted").
 
 Output is rendered as text (hex / decimal / raw characters), so a single
 corrupted value reliably changes the byte stream.
+
+The SMP extension adds a minimal thread story: ``SPAWN`` starts a worker on
+an idle core (returning its core id as the thread id), and ``COREID`` /
+``NCORES`` let a worker find its slice of the work.  On the single-core
+:class:`~repro.cpu.system.System` there is no SMP attached, so ``SPAWN``
+deterministically fails with ``SPAWN_FAILED`` — programs must be written to
+fall back to doing the work inline (which is exactly what makes a parallel
+workload's output identical at every core count).
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from __future__ import annotations
 import enum
 
 from repro.isa.semantics import to_signed
+from repro.kernel.layout import MemoryLayout
 from repro.kernel.status import CrashReason
 
 
@@ -25,6 +34,24 @@ class Syscall(enum.IntEnum):
     PUTW = 1   # write r0 as 8 hex digits + newline
     PUTC = 2   # write low byte of r0 verbatim
     PUTD = 3   # write r0 as signed decimal + newline
+    SPAWN = 4  # start r0 (entry pc) with argument r1 on an idle core
+    COREID = 5   # id of the core executing the syscall
+    NCORES = 6   # number of cores in the machine
+
+#: SPAWN's failure return value (no idle core, or no SMP at all).
+SPAWN_FAILED = 0xFFFFFFFF
+
+
+def worker_sp(layout: MemoryLayout, core_id: int, ncores: int) -> int:
+    """Initial stack pointer for a spawned worker on *core_id*.
+
+    The single mapped stack region is carved into *ncores* equal slices,
+    core 0 keeping the top one, so no new pages need mapping and the layout
+    (hence the golden memory image) is a pure function of the core count.
+    """
+    region = layout.stack_top - layout.stack_base
+    slice_size = (region // ncores) & ~0x7  # keep 8-byte alignment
+    return layout.stack_top - 16 - core_id * slice_size
 
 
 class Kernel:
@@ -35,11 +62,14 @@ class Kernel:
         self.output_limit = output_limit
         self.exit_code: int | None = None
         self.syscall_count = 0
+        #: Back-reference to the SMP machine (set by SMPSystem); ``None``
+        #: on the single-core System, where SPAWN deterministically fails.
+        self.smp = None
 
     def do_syscall(
-        self, number: int, r0: int, r1: int, r2: int
+        self, number: int, r0: int, r1: int, r2: int, core: int = 0
     ) -> tuple[int, bool, CrashReason | None]:
-        """Service a syscall.
+        """Service a syscall issued by *core*.
 
         Returns ``(return_value, program_exited, crash_reason)``.  An
         unknown syscall number — typically the product of a corrupted
@@ -59,6 +89,16 @@ class Kernel:
         if number == Syscall.PUTD:
             self._emit(f"{to_signed(r0)}\n".encode("ascii"))
             return 0, False, None
+        if number == Syscall.SPAWN:
+            if self.smp is None:
+                return SPAWN_FAILED, False, None
+            return self.smp.start_core(r0, r1), False, None
+        if number == Syscall.COREID:
+            return core, False, None
+        if number == Syscall.NCORES:
+            if self.smp is None:
+                return 1, False, None
+            return self.smp.ncores, False, None
         return 0, False, CrashReason.BAD_SYSCALL
 
     def _emit(self, payload: bytes) -> None:

@@ -107,6 +107,9 @@ class Cache:
         # LRU: per-set list of way indices, most recent last.
         self._lru = [list(range(assoc)) for _ in range(self.num_sets)]
         self.stats = CacheStats()
+        # Coherence bus hook (set by CoherenceBus.attach for per-core L1Ds
+        # sharing one L2).  ``None`` keeps single-cache behaviour untouched.
+        self.coherence = None
 
     # -- InjectableArray protocol -------------------------------------------
 
@@ -155,6 +158,12 @@ class Cache:
             victim_addr = self._line_addr(set_idx, self._tags[idx])
             latency += self._writeback_below(victim_addr, self._data[idx])
             self.stats.writebacks += 1
+            if self.coherence is not None:
+                self.coherence.on_evict(self, victim_addr)
+        if self.coherence is not None:
+            # A remote dirty copy must reach the shared level before the
+            # fetch below observes it.
+            self.coherence.on_fill(self, line_addr)
         data, fill_latency = self._fetch_below(line_addr)
         latency += fill_latency
         self._tags[idx] = tag
@@ -248,6 +257,8 @@ class Cache:
         idx, offset, latency = self._access(paddr, len(payload))
         self._data[idx][offset:offset + len(payload)] = payload
         self._dirty[idx] = True
+        if self.coherence is not None:
+            self.coherence.on_write(self, paddr - (paddr & self._offset_mask))
         return latency
 
     # -- line interface used by an upper cache level ---------------------------
@@ -324,6 +335,45 @@ class Cache:
         """Copy of a set's LRU stack (way indices, most recent last)."""
         return list(self._lru[set_idx])
 
+    # -- snoop interface (coherence bus) ----------------------------------------
+
+    def snoop_invalidate(self, line_addr: int) -> bool:
+        """Drop a line on a remote write; returns True when it was present.
+
+        A dirty copy should never be snoop-invalidated under the protocol
+        (the writer's fill flushed it first); if one is found anyway it is
+        written back rather than silently discarded, so a protocol bug
+        shows up as a data divergence the differential harness can see.
+        """
+        hit = self.probe(line_addr)
+        if hit is None:
+            return False
+        idx, _ = hit
+        if self._dirty[idx]:
+            self._writeback_below(line_addr, self._data[idx])
+            self.stats.writebacks += 1
+        self._valid[idx] = False
+        self._dirty[idx] = False
+        return True
+
+    def snoop_flush(self, line_addr: int, invalidate: bool = False) -> bool:
+        """Push a dirty copy down one level (intervention).
+
+        Leaves the local copy clean (or drops it when *invalidate*); returns
+        True when the line was present.
+        """
+        hit = self.probe(line_addr)
+        if hit is None:
+            return False
+        idx, _ = hit
+        if self._dirty[idx]:
+            self._writeback_below(line_addr, self._data[idx])
+            self.stats.writebacks += 1
+            self._dirty[idx] = False
+        if invalidate:
+            self._valid[idx] = False
+        return True
+
     def flush_all(self) -> None:
         """Write back every dirty line and invalidate the cache."""
         for set_idx in range(self.num_sets):
@@ -332,5 +382,7 @@ class Cache:
                 if self._valid[idx] and self._dirty[idx]:
                     addr = self._line_addr(set_idx, self._tags[idx])
                     self._writeback_below(addr, self._data[idx])
+                    if self.coherence is not None:
+                        self.coherence.on_evict(self, addr)
                 self._valid[idx] = False
                 self._dirty[idx] = False

@@ -67,12 +67,20 @@ class _Labels:
 class _FuncGen:
     """Code generation state for one function body."""
 
-    def __init__(self, func: Func, info: ModuleInfo, labels: _Labels) -> None:
+    def __init__(
+        self,
+        func: Func,
+        info: ModuleInfo,
+        labels: _Labels,
+        spawned: set[str] | None = None,
+    ) -> None:
         self.func = func
         self.info = info
         self.labels = labels
         self.lines: list[str] = []
         self.scope: FuncScope = info.scopes[func.name]
+        #: Module-wide set of spawn targets needing a __spawn_<fn> thunk.
+        self.spawned = spawned if spawned is not None else set()
 
         slot_names = self.scope.slot_names()
         self.slot_of = {name: i * 4 for i, name in enumerate(slot_names)}
@@ -500,6 +508,13 @@ class _FuncGen:
 
     def _gen_call(self, call: Call, want_value: bool) -> bool:
         """Generate a call; returns True when a value was pushed."""
+        if call.name == "spawn":
+            return self._gen_spawn(call, want_value)
+        if call.name in ("amoadd", "amoswap"):
+            return self._gen_amo(call, want_value)
+        if call.name in ("coreid", "ncores"):
+            self.emit(f"SYS #{5 if call.name == 'coreid' else 6}")
+            return self._push_syscall_result(want_value)
         if call.name in INTRINSICS:
             self.gen_expr(call.args[0])
             reg = self._pop_to_reg()
@@ -538,6 +553,50 @@ class _FuncGen:
             return True
         return False
 
+    def _push_syscall_result(self, want_value: bool) -> bool:
+        if not want_value:
+            return False
+        reg = self._alloc_reg()
+        self.emit(f"MOV {reg}, r0")
+        self._push_reg(reg)
+        return True
+
+    def _gen_spawn(self, call: Call, want_value: bool) -> bool:
+        """spawn(fn, arg) -> SYS #4 through the generated __spawn_ thunk.
+
+        The thunk gives the worker core a landing pad that calls *fn*
+        with the MiniC ABI and halts (parking the core) when it returns.
+        """
+        target = call.args[0]
+        assert isinstance(target, VarRef)
+        self.spawned.add(target.name)
+        self.gen_expr(call.args[1])
+        reg = self._pop_to_reg()
+        self.emit(f"MOV r1, {reg}")
+        self._free_reg(reg)
+        self.emit(f"LA r0, __spawn_{target.name}")
+        self.emit("SYS #4")
+        return self._push_syscall_result(want_value)
+
+    def _gen_amo(self, call: Call, want_value: bool) -> bool:
+        """amoadd/amoswap(arr, idx, val): atomic RMW on a word element."""
+        target = call.args[0]
+        assert isinstance(target, VarRef) and call.args[1] is not None
+        element = Index(base=target.name, index=call.args[1], line=call.line)
+        byte_elem = self._push_element_addr(element)
+        assert not byte_elem  # sema only admits int arrays/pointers
+        self.gen_expr(call.args[2])
+        value = self._pop_to_reg()
+        addr = self._pop_to_reg()
+        mnemonic = "AMOADD" if call.name == "amoadd" else "AMOSWAP"
+        self.emit(f"{mnemonic} {addr}, {addr}, {value}")
+        self._free_reg(value)
+        if want_value:
+            self._push_reg(addr)
+            return True
+        self._free_reg(addr)
+        return False
+
 
 def _emit_globals(module: Module) -> list[str]:
     lines = [".data"]
@@ -571,9 +630,16 @@ def compile_module(module: Module) -> str:
     """Generate assembly text for a parsed + analysed module."""
     info = analyse(module)
     labels = _Labels()
+    spawned: set[str] = set()
     lines = [".text", "_start:", "    BL main", "    SYS #0"]
     for func in module.funcs:
-        lines.extend(_FuncGen(func, info, labels).generate())
+        lines.extend(_FuncGen(func, info, labels, spawned).generate())
+    # Worker landing pads: call the spawned function with the thread
+    # argument already in r0, then halt to park the core.
+    for name in sorted(spawned):
+        lines.append(f"__spawn_{name}:")
+        lines.append(f"    BL {name}")
+        lines.append("    HALT")
     lines.extend(_emit_globals(module))
     return "\n".join(lines) + "\n"
 

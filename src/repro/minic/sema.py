@@ -22,6 +22,17 @@ INTRINSICS = {
     "putd": (1, False),
     "putc": (1, False),
     "exit": (1, False),
+    # SMP thread story (see repro.kernel.syscalls): spawn(fn, arg) starts
+    # fn(arg) on an idle core and returns its core id — or SPAWN_FAILED
+    # (0xFFFFFFFF) on a single-core machine, so portable programs test the
+    # result and fall back to calling fn inline.  amoadd/amoswap are
+    # word-sized atomic read-modify-writes on an int array element,
+    # returning the old value; coreid()/ncores() identify the caller.
+    "spawn": (2, True),
+    "amoadd": (3, True),
+    "amoswap": (3, True),
+    "coreid": (0, True),
+    "ncores": (0, True),
 }
 
 
@@ -254,6 +265,12 @@ class Sema:
                 raise CompileError(
                     f"line {call.line}: {call.name} has no value"
                 )
+            if call.name == "spawn":
+                self._check_spawn(call, scope)
+                return
+            if call.name in ("amoadd", "amoswap"):
+                self._check_amo(call, scope)
+                return
         else:
             func = self.info.funcs.get(call.name)
             if func is None:
@@ -275,6 +292,42 @@ class Sema:
             return
         for arg in call.args:
             self._check_value(arg, scope)
+
+    def _check_spawn(self, call: Call, scope: FuncScope) -> None:
+        """spawn(fn, arg): fn must name a defined one-int-parameter function."""
+        target = call.args[0]
+        if not isinstance(target, VarRef):
+            raise CompileError(
+                f"line {call.line}: spawn's first argument must name a "
+                f"function"
+            )
+        func = self.info.funcs.get(target.name)
+        if func is None:
+            raise CompileError(
+                f"line {call.line}: spawn target {target.name!r} is not a "
+                f"defined function"
+            )
+        if len(func.params) != 1 or func.params[0].type != "int":
+            raise CompileError(
+                f"line {call.line}: spawn target {target.name!r} must take "
+                f"exactly one int parameter"
+            )
+        self._check_value(call.args[1], scope)
+
+    def _check_amo(self, call: Call, scope: FuncScope) -> None:
+        """amoadd/amoswap(arr, idx, val): word-sized int array element only."""
+        target = call.args[0]
+        if not (
+            isinstance(target, VarRef)
+            and self._name_kind(target.name, scope, call.line)
+            in ("array", "pointer")
+        ):
+            raise CompileError(
+                f"line {call.line}: {call.name}'s first argument must be an "
+                f"int array or int* pointer (atomics are word-sized)"
+            )
+        self._check_value(call.args[1], scope)
+        self._check_value(call.args[2], scope)
 
     def _check_arg(self, arg: Expr, ptype: str, scope: FuncScope) -> None:
         """Pointer parameters accept arrays and same-typed pointers."""

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.errors import VerificationError
 from repro.isa.assembler import assemble
 from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
-from repro.verify.differential import run_differential
+from repro.verify.differential import run_differential, run_smp_differential
 
 #: Working registers the fuzzer computes in.  r0 is the syscall argument,
 #: r1 the data-buffer base, r2 the loop counter; r12+ are FP/SP/LR.
@@ -183,6 +183,112 @@ class ProgramFuzzer:
         return assemble(self.source())
 
 
+class SMPProgramFuzzer(ProgramFuzzer):
+    """Generates one random multithreaded program for the SMP differential.
+
+    Core 0 spawns 1..(cores-1) workers, interleaves its own fuzzed
+    segments with their execution, spin-joins on per-worker release
+    flags, then folds its registers *and* the shared counters into the
+    output.  Workers run fuzzed straight-line/loop bodies over disjoint
+    slices of the shared buffer and contribute to one contended counter
+    word via ``amoadd`` — so every program exercises invalidation,
+    intervention and commit-time load replay under a random interleaving
+    of cache traffic, while the final output stays a deterministic
+    function of the program (amoadd is commutative and joins are real).
+
+    Workers never write program output: core 0's program order is the
+    only output order, which keeps the byte stream interleaving-free.
+    """
+
+    def __init__(self, seed, length: int = 40, cores: int = 2) -> None:
+        super().__init__(seed, length)
+        if cores < 2:
+            raise ValueError(f"SMP fuzzing needs >= 2 cores, got {cores}")
+        self.cores = cores
+
+    #: Worker-body segments: no output, no syscalls.
+    _WORKER_SEGMENTS = (
+        (ProgramFuzzer._seg_alu_r, 5),
+        (ProgramFuzzer._seg_alu_i, 5),
+        (ProgramFuzzer._seg_divmod, 2),
+        (ProgramFuzzer._seg_word_mem, 3),
+        (ProgramFuzzer._seg_byte_mem, 2),
+        (ProgramFuzzer._seg_loop, 2),
+        (ProgramFuzzer._seg_skip, 2),
+    )
+
+    def _emit_segments(self, lines, table, count) -> None:
+        rng = self._rng
+        emitters = [seg for seg, weight in table]
+        weights = [weight for seg, weight in table]
+        emitted = 0
+        while emitted < count:
+            seg = rng.choices(emitters, weights)[0](self)
+            lines.extend(seg)
+            emitted += sum(1 for line in seg if not line.endswith(":"))
+
+    def source(self) -> str:
+        rng = self._rng
+        workers = rng.randint(1, min(3, self.cores - 1))
+        lines = ["        .text", "_start:", "        la r1, buf"]
+        for reg in _WORK_REGS:
+            lines.append(f"        movi r{reg}, #{rng.randint(-32768, 32767)}")
+        self._emit_segments(lines, self._SEGMENTS, self.length // 3)
+        # Spawn phase.  SYS #4 consumes r0/r1, so the buffer base is
+        # re-established afterwards; with workers <= cores-1 every spawn
+        # lands on an idle core by construction.
+        for w in range(1, workers + 1):
+            lines.append(f"        la r0, worker_{w}")
+            lines.append(f"        movi r1, #{rng.randint(-32768, 32767)}")
+            lines.append("        sys #4")
+        lines.append("        la r1, buf")
+        # Core 0 keeps computing while the workers run.
+        self._emit_segments(lines, self._SEGMENTS, self.length)
+        # Join phase: one spin loop per worker release flag.
+        for w in range(1, workers + 1):
+            lines.append(f"join_{w}:")
+            lines.append("        la r2, flags")
+            lines.append(f"        ldr r2, [r2, #{4 * (w - 1)}]")
+            lines.append(f"        beqz r2, join_{w}")
+        # Fold the contended counter into the visible result.
+        lines.append("        la r2, counters")
+        lines.append("        ldr r2, [r2, #0]")
+        lines.append(f"        eor r{_WORK_REGS[0]}, r{_WORK_REGS[0]}, r2")
+        lines.append(f"        mov r0, r{_WORK_REGS[0]}")
+        for reg in _WORK_REGS[1:]:
+            lines.append(f"        eor r0, r0, r{reg}")
+        lines.append("        sys #1")
+        lines.append("        movi r0, #0")
+        lines.append("        sys #0")
+        # Worker bodies: private buffer slice, fuzzed body, amoadd
+        # contribution to the shared counter, amoadd release, halt.
+        for w in range(1, workers + 1):
+            lines.append(f"worker_{w}:")
+            lines.append("        la r1, buf")
+            lines.append(f"        addi r1, r1, #{w * _BUF_SIZE}")
+            for reg in _WORK_REGS:
+                lines.append(
+                    f"        movi r{reg}, #{rng.randint(-32768, 32767)}"
+                )
+                if rng.random() < 0.4:
+                    lines.append(f"        eor r{reg}, r{reg}, r0")
+            self._emit_segments(
+                lines, self._WORKER_SEGMENTS, self.length // 2
+            )
+            lines.append("        la r2, counters")
+            lines.append(f"        amoadd r3, r2, r{rng.choice(_WORK_REGS)}")
+            lines.append("        la r2, flags")
+            lines.append(f"        addi r2, r2, #{4 * (w - 1)}")
+            lines.append("        movi r3, #1")
+            lines.append("        amoadd r3, r2, r3")
+            lines.append("        halt")
+        lines.append("        .data")
+        lines.append(f"buf:      .space {_BUF_SIZE * self.cores}")
+        lines.append("counters: .word 0, 0, 0, 0")
+        lines.append("flags:    .word 0, 0, 0, 0")
+        return "\n".join(lines) + "\n"
+
+
 @dataclass
 class FuzzDivergence:
     """One fuzz case the two implementations disagreed on."""
@@ -232,6 +338,45 @@ def run_fuzz(
         try:
             outcome = run_differential(
                 assemble(source), core_cfg, audit=True
+            )
+            report.instructions += outcome.committed
+        except VerificationError as exc:
+            report.divergences.append(
+                FuzzDivergence(index, case_seed, str(exc), source)
+            )
+        report.programs += 1
+        if progress is not None:
+            progress(index + 1, programs, report)
+    return report
+
+
+def run_smp_fuzz(
+    programs: int,
+    seed=0,
+    length: int = 40,
+    cores: int = 2,
+    core_cfg: CoreConfig | None = None,
+    progress=None,
+) -> FuzzReport:
+    """Differentially fuzz multithreaded programs on an N-core machine.
+
+    Each case runs in lock step against the multi-core oracle (driven by
+    the machine's observed commit order, so it is exact for any
+    interleaving) with per-commit invariant checks and a final coherence
+    audit of every cache and the bus owner map.
+    """
+    if core_cfg is None:
+        from dataclasses import replace
+
+        core_cfg = replace(DEFAULT_CONFIG, check_invariants=True)
+    report = FuzzReport()
+    for index in range(programs):
+        case_seed = f"{seed}:{index}"
+        fuzzer = SMPProgramFuzzer(case_seed, length=length, cores=cores)
+        source = fuzzer.source()
+        try:
+            outcome = run_smp_differential(
+                assemble(source), core_cfg, cores, audit=True
             )
             report.instructions += outcome.committed
         except VerificationError as exc:

@@ -168,6 +168,65 @@ class InvariantChecker:
                         f"below (line index {idx})"
                     )
 
+    def check_smp(self, smp) -> None:
+        """Audit an SMP machine: per-core structures plus coherence state.
+
+        Extends :meth:`check_system` across every core and adds the
+        coherence invariants of the clean/dirty protocol:
+
+        * **Single-writer** — at most one L1D holds a given line dirty,
+          and when one does, no other L1D holds any copy of that line.
+        * **Clean agreement** — a clean L1D line equals what the shared
+          hierarchy below observes (inherited from :meth:`_audit_cache`).
+        * **Owner-map consistency** — the bus's dirty-owner map points at
+          exactly the caches that actually hold the line dirty.
+
+        Like :meth:`check_system`, meaningful only on fault-free state.
+        """
+        cycle = smp.cycle
+        self._audit_cache(smp.l2, cycle)
+        dirty_holders: dict[int, list] = {}
+        holders: dict[int, list] = {}
+        for bundle in smp.cores:
+            self._audit_cache(bundle.l1d, cycle)
+            self._audit_cache(bundle.l1i, cycle)
+            self._audit_tlb(bundle.itlb, smp.page_table, cycle)
+            self._audit_tlb(bundle.dtlb, smp.page_table, cycle)
+            for _idx, line_addr, dirty in bundle.l1d.audit_lines():
+                holders.setdefault(line_addr, []).append(bundle.l1d)
+                if dirty:
+                    dirty_holders.setdefault(line_addr, []).append(bundle.l1d)
+        for line_addr, caches in dirty_holders.items():
+            if len(caches) > 1:
+                names = [c.name for c in caches]
+                raise InvariantViolation(
+                    f"cycle {cycle}: line 0x{line_addr:08x} dirty in "
+                    f"multiple L1Ds: {names}"
+                )
+            copies = holders[line_addr]
+            if len(copies) > 1:
+                names = [c.name for c in copies]
+                raise InvariantViolation(
+                    f"cycle {cycle}: line 0x{line_addr:08x} is dirty in "
+                    f"{caches[0].name} but also cached by {names}"
+                )
+        for line_addr, owner in smp.bus.owner.items():
+            actual = dirty_holders.get(line_addr, [])
+            if actual != [owner]:
+                names = [c.name for c in actual]
+                raise InvariantViolation(
+                    f"cycle {cycle}: bus owner map says {owner.name} holds "
+                    f"line 0x{line_addr:08x} dirty, but the dirty holders "
+                    f"are {names}"
+                )
+        for line_addr, caches in dirty_holders.items():
+            if smp.bus.owner.get(line_addr) is not caches[0]:
+                raise InvariantViolation(
+                    f"cycle {cycle}: {caches[0].name} holds line "
+                    f"0x{line_addr:08x} dirty but is not the bus's "
+                    f"recorded owner"
+                )
+
     @staticmethod
     def _audit_tlb(tlb, page_table, cycle: int) -> None:
         for idx, fields in tlb.audit_entries():
@@ -259,4 +318,63 @@ def state_fingerprint(system) -> str:
     put("kout", bytes(system.kernel.output))
     put("kexit", system.kernel.exit_code)
     h.update(bytes(system.mem.data))
+    return h.hexdigest()
+
+
+def smp_state_fingerprint(smp) -> str:
+    """SHA-256 over an SMP machine's complete simulated state.
+
+    The multi-core analogue of :func:`state_fingerprint`: every core's
+    pipeline/caches/TLBs (keyed by core id), the shared L2, the coherence
+    owner map, the run/park state of each core, kernel state and physical
+    memory.  Equal fingerprints mean bit-identical machines; the
+    multi-core golden-replay determinism tests compare these across
+    independent runs of the same program.
+    """
+    h = hashlib.sha256()
+
+    def put(tag: str, value) -> None:
+        h.update(tag.encode())
+        h.update(repr(value).encode())
+
+    put("ncores", smp.ncores)
+    put("gcycle", smp.cycle)
+    put("running", smp.running)
+    for bundle in smp.cores:
+        core = bundle.pipe
+        put("core", bundle.core_id)
+        put("cycle", core.cycle)
+        put("seq", core.seq)
+        put("prf", core.prf.values)
+        put("rename", core.rename_map)
+        put("free", list(core.free_list))
+        put("rob", [
+            (u.seq, u.pc, u.state, u.dest, u.old_dest, u.arch_dest)
+            for u in core.rob
+        ])
+        for cache in (bundle.l1d, bundle.l1i):
+            put("cache", cache.name)
+            put("tags", cache._tags)
+            put("valid", cache._valid)
+            put("dirty", cache._dirty)
+            put("lru", cache._lru)
+            for line in cache._data:
+                h.update(bytes(line))
+        for tlb in (bundle.itlb, bundle.dtlb):
+            put("tlb", tlb.name)
+            put("packed", tlb.packed)
+
+    put("cache", smp.l2.name)
+    put("tags", smp.l2._tags)
+    put("valid", smp.l2._valid)
+    put("dirty", smp.l2._dirty)
+    put("lru", smp.l2._lru)
+    for line in smp.l2._data:
+        h.update(bytes(line))
+    put("owner", sorted(
+        (addr, cache.name) for addr, cache in smp.bus.owner.items()
+    ))
+    put("kout", bytes(smp.kernel.output))
+    put("kexit", smp.kernel.exit_code)
+    h.update(bytes(smp.mem.data))
     return h.hexdigest()

@@ -37,7 +37,7 @@ from repro.isa.registers import NUM_ARCH_REGS, SP
 from repro.isa.semantics import ALU_OPS, BRANCH_CONDS, ArithmeticFault
 from repro.kernel.loader import load_program
 from repro.kernel.status import CrashReason, RunResult, RunStatus
-from repro.kernel.syscalls import Kernel
+from repro.kernel.syscalls import SPAWN_FAILED, Kernel, worker_sp
 from repro.mem.paging import PAGE_SHIFT, PAGE_SIZE, VPN_BITS, PageTable
 from repro.mem.physmem import PhysicalMemory
 from repro.cpu.config import DEFAULT_CONFIG, CoreConfig
@@ -126,6 +126,9 @@ class ReferenceExecutor:
         self.pc = process.entry_pc
         self.retired = 0
         self.max_instructions = max_instructions
+        #: Which core the current instruction runs on (always 0 here; the
+        #: SMP subclass swaps it per scheduled core).
+        self.core = 0
         #: Set when execution reaches a terminal state.
         self.result: RunResult | None = None
 
@@ -178,6 +181,14 @@ class ReferenceExecutor:
 
     def _crash(self, reason: CrashReason, pc: int, detail: str = "") -> None:
         self._finish(RunStatus.CRASH_PROCESS, reason, pc, detail)
+
+    def _halt(self, pc: int) -> None:
+        """The current thread ended (HALT or exiting SYS).
+
+        On the single-core executor that terminates the run; the SMP
+        subclass parks worker cores instead.
+        """
+        self._finish(RunStatus.FINISHED)
 
     # -- execution -----------------------------------------------------------
 
@@ -266,6 +277,32 @@ class ReferenceExecutor:
             data = regs[inst.reads[0]] & (MASK32 if size == 4 else 0xFF)
             self.mem.write(mem_paddr, data.to_bytes(size, "little"))
             store = (mem_paddr, size, data)
+        elif inst.is_amo:
+            vaddr = regs[inst.reads[0]]
+            if vaddr & 3:
+                self._crash(
+                    CrashReason.MISALIGNED, pc, f"amo at 0x{vaddr:08x}"
+                )
+                return None
+            mem_paddr, fault = self._translate(vaddr, ACCESS_STORE)
+            if fault is not None:
+                self._crash(fault, pc, f"amo at 0x{vaddr:08x}")
+                return None
+            if mem_paddr < self.cfg.layout.kernel_reserved:
+                self._finish(
+                    RunStatus.CRASH_KERNEL, CrashReason.KERNEL_PANIC, pc,
+                    f"store to kernel frame at phys 0x{mem_paddr:08x}",
+                )
+                return None
+            old = int.from_bytes(self.mem.read(mem_paddr, 4), "little")
+            operand = regs[inst.reads[1]]
+            if op is Op.AMOADD:
+                new = (old + operand) & MASK32
+            else:  # AMOSWAP
+                new = operand & MASK32
+            self.mem.write(mem_paddr, new.to_bytes(4, "little"))
+            value = old
+            store = (mem_paddr, 4, new)
         elif inst.is_cond_branch:
             a = regs[inst.reads[0]]
             b = regs[inst.reads[1]] if len(inst.reads) > 1 else 0
@@ -288,17 +325,17 @@ class ReferenceExecutor:
             next_pc = target
         elif inst.is_sys:
             ret, exited, crash = self.kernel.do_syscall(
-                inst.imm, regs[0], regs[1], regs[2]
+                inst.imm, regs[0], regs[1], regs[2], core=self.core
             )
             if crash is not None:
                 self._crash(crash, pc)
                 return None
             value = ret & MASK32
             if exited:
-                self._finish(RunStatus.FINISHED)
+                self._halt(pc)
                 return None
         elif inst.is_halt:
-            self._finish(RunStatus.FINISHED)
+            self._halt(pc)
             return None
         # NOP: no effect.
 
@@ -329,3 +366,120 @@ class ReferenceExecutor:
             record = self.step()
             if record is not None:
                 yield record
+
+
+class _CoreContext:
+    """One oracle core's architectural thread state."""
+
+    __slots__ = ("regs", "pc", "running")
+
+    def __init__(self) -> None:
+        self.regs = [0] * NUM_ARCH_REGS
+        self.pc = 0
+        self.running = False
+
+
+class SMPReferenceExecutor(ReferenceExecutor):
+    """Multi-core extension of the ISA-level oracle.
+
+    Shares one flat memory, page table and kernel across N per-core
+    architectural contexts (registers + pc + running flag) and mirrors the
+    machine's thread model exactly: SPAWN starts the first idle worker core
+    with the same carved-out stack slice, HALT (or an exiting SYS) on a
+    worker parks that core, and any non-FINISHED terminal state on any core
+    ends the program tagged with the core id.
+
+    Two driving modes:
+
+    * **externally scheduled** (``step_core``): the differential harness
+      replays the machine's observed per-core commit order, making the
+      comparison exact for *any* program — the commit points are the
+      sequential-consistency serialization the SMP system enforces;
+    * **self-scheduled** (``run``): a deterministic round-robin, one
+      instruction per running core per round — the terminal result matches
+      the machine's for race-free (properly join-synchronized) programs.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cfg: CoreConfig = DEFAULT_CONFIG,
+        ncores: int = 2,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        super().__init__(program, cfg, max_instructions)
+        self.ncores = ncores
+        self.kernel.smp = self  # SPAWN/NCORES route back here
+        self.contexts = [_CoreContext() for _ in range(ncores)]
+        core0 = self.contexts[0]
+        core0.regs = self.regs
+        core0.pc = self.pc
+        core0.running = True
+        self._parked = False
+
+    # -- thread model (mirrors SMPSystem) ------------------------------------
+
+    def start_core(self, entry: int, arg: int) -> int:
+        for k in range(1, self.ncores):
+            ctx = self.contexts[k]
+            if ctx.running:
+                continue
+            regs = [0] * NUM_ARCH_REGS
+            regs[SP] = worker_sp(self.cfg.layout, k, self.ncores) & MASK32
+            regs[0] = arg & MASK32
+            ctx.regs = regs
+            ctx.pc = entry & MASK32
+            ctx.running = True
+            return k
+        return SPAWN_FAILED
+
+    def _halt(self, pc: int) -> None:
+        if self.core == 0:
+            self._finish(RunStatus.FINISHED)
+        else:
+            self._parked = True
+
+    def _finish(self, status, reason=None, pc=None, detail="") -> None:
+        if self.core and status is not RunStatus.FINISHED:
+            detail = f"core {self.core}: {detail}" if detail \
+                else f"core {self.core}"
+        super()._finish(status, reason, pc, detail)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def step_core(self, k: int) -> CommitRecord | None:
+        """Execute one instruction on core *k* (external scheduling mode).
+
+        Returns its commit record, or ``None`` when the instruction
+        terminated the program (``self.result`` set) or parked the worker.
+        """
+        ctx = self.contexts[k]
+        if self.result is not None or not ctx.running:
+            return None
+        self.core = k
+        self.regs = ctx.regs
+        self.pc = ctx.pc
+        self._parked = False
+        record = self.step()
+        ctx.regs = self.regs
+        ctx.pc = self.pc
+        if self._parked:
+            ctx.running = False
+        return record
+
+    def run(self) -> RunResult:
+        """Self-scheduled round-robin run to termination."""
+        while self.result is None:
+            progressed = False
+            for k in range(self.ncores):
+                if self.result is not None:
+                    break
+                if self.contexts[k].running:
+                    self.step_core(k)
+                    progressed = True
+            if not progressed:
+                raise VerificationError(
+                    "smp oracle: every core parked but core 0 never "
+                    "reached a terminal state"
+                )
+        return self.result

@@ -90,3 +90,30 @@ class Workload:
         if self._program is None:
             self._program = compile_source(self.source)
         return self._program
+
+    def program_for(self, cores: int) -> Program:
+        """Program image for an N-core machine.
+
+        Serial workloads return the same image at every core count (the
+        extra cores simply idle).  Parallel workloads also return one
+        image: their MiniC source queries ``ncores()``/``spawn()`` at run
+        time and falls back to inline execution when no core is free, so
+        a single binary is portable across every machine width.
+        """
+        return self.program()
+
+
+@dataclass
+class ParallelWorkload(Workload):
+    """A workload decomposed into a fixed set of spawnable tasks.
+
+    The task count is fixed at build time (never derived from the core
+    count) and every task's result is placement-independent, so
+    ``expected_output`` is identical at *every* core count — including
+    one, where every ``spawn`` fails and core 0 runs all tasks inline.
+    That invariance is what lets a campaign sweep ``--cores`` while
+    classifying against one golden byte stream.
+    """
+
+    #: Number of independent tasks the program decomposes into.
+    tasks: int = 0

@@ -1,0 +1,100 @@
+"""Parallel CRC32 workload: per-block checksums across cores.
+
+The message is split into four fixed blocks; each task computes a full
+bitwise CRC-32 of its block and the main thread folds the block CRCs.
+Tasks are spawned greedily with an inline fallback, so the same binary
+runs (and prints the same bytes) on any machine width from one core up.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    Output, ParallelWorkload, fmt_ints, rng, u32,
+)
+
+_TASKS = 4
+_BLOCK = 40
+_SIZE = _TASKS * _BLOCK
+_POLY = 0xEDB88320
+
+_TEMPLATE = """\
+byte msg[{size}] = {{{data}}};
+int crcs[{tasks}];
+int flag[{tasks}];
+
+void do_task(int t) {{
+    int crc = -1;
+    int lo = t * {block};
+    int hi = lo + {block};
+    for (int i = lo; i < hi; i = i + 1) {{
+        crc = crc ^ msg[i];
+        for (int b = 0; b < 8; b = b + 1) {{
+            int lsb = crc & 1;
+            crc = (crc >> 1) & 2147483647;
+            if (lsb) {{
+                crc = crc ^ {poly};
+            }}
+        }}
+    }}
+    crcs[t] = crc ^ -1;
+    amoadd(flag, t, 1);
+}}
+
+int main() {{
+    for (int t = 0; t < {tasks}; t = t + 1) {{
+        if (spawn(do_task, t) == -1) {{
+            do_task(t);
+        }}
+    }}
+    int t = 0;
+    while (t < {tasks}) {{
+        if (flag[t] != 0) {{
+            t = t + 1;
+        }}
+    }}
+    int fold = 0;
+    for (int i = 0; i < {tasks}; i = i + 1) {{
+        putw(crcs[i]);
+        fold = fold ^ crcs[i];
+    }}
+    putw(fold);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _block_crc(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            lsb = crc & 1
+            crc >>= 1
+            if lsb:
+                crc ^= _POLY
+    return u32(crc ^ 0xFFFFFFFF)
+
+
+def build() -> ParallelWorkload:
+    data = bytes(rng("crc32_p").randrange(256) for _ in range(_SIZE))
+    out = Output()
+    fold = 0
+    for t in range(_TASKS):
+        crc = _block_crc(data[t * _BLOCK:(t + 1) * _BLOCK])
+        out.putw(crc)
+        fold ^= crc
+    out.putw(fold)
+    source = _TEMPLATE.format(
+        size=_SIZE, tasks=_TASKS, block=_BLOCK, poly=_POLY,
+        data=fmt_ints(list(data)),
+    )
+    return ParallelWorkload(
+        name="crc32_p",
+        paper_name="CRC32 (parallel)",
+        paper_cycles=132_195_721,
+        description=f"bitwise CRC-32 over {_TASKS} blocks of {_BLOCK} bytes",
+        source=source,
+        expected_output=out.bytes(),
+        tasks=_TASKS,
+    )

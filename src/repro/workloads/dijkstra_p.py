@@ -1,0 +1,133 @@
+"""Parallel dijkstra workload: one shortest-path tree per core.
+
+Four tasks each run a complete O(N^2) single-source Dijkstra over the
+same shared adjacency matrix (read-only) from a different source node,
+writing into a private slice of the distance arrays; the main thread
+prints each tree's distances and a combined checksum.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, ParallelWorkload, fmt_ints, rng
+
+_TASKS = 4
+_NODES = 14
+_INF = 1 << 28
+
+
+def _generate_graph() -> list[list[int]]:
+    rand = rng("dijkstra_p")
+    adj = [[0] * _NODES for _ in range(_NODES)]
+    for i in range(_NODES):
+        for j in range(_NODES):
+            if i != j and rand.random() < 0.35:
+                adj[i][j] = rand.randrange(1, 30)
+    for i in range(_NODES):
+        adj[i][(i + 1) % _NODES] = adj[i][(i + 1) % _NODES] or 7
+    return adj
+
+
+def _dijkstra_reference(adj: list[list[int]], source: int) -> list[int]:
+    dist = [_INF] * _NODES
+    done = [False] * _NODES
+    dist[source] = 0
+    for _ in range(_NODES):
+        best, best_d = -1, _INF + 1
+        for v in range(_NODES):
+            if not done[v] and dist[v] < best_d:
+                best, best_d = v, dist[v]
+        if best < 0:
+            break
+        done[best] = True
+        for v in range(_NODES):
+            w = adj[best][v]
+            if w and dist[best] + w < dist[v]:
+                dist[v] = dist[best] + w
+    return dist
+
+
+_TEMPLATE = """\
+int adj[{cells}] = {{{matrix}}};
+int dist[{slots}];
+int done[{slots}];
+int flag[{tasks}];
+
+void do_task(int t) {{
+    int base = t * {nodes};
+    for (int v = 0; v < {nodes}; v = v + 1) {{
+        dist[base + v] = {inf};
+        done[base + v] = 0;
+    }}
+    dist[base + t] = 0;
+    for (int iter = 0; iter < {nodes}; iter = iter + 1) {{
+        int best = -1;
+        int bestd = {inf} + 1;
+        for (int v = 0; v < {nodes}; v = v + 1) {{
+            if (done[base + v] == 0 && dist[base + v] < bestd) {{
+                best = v;
+                bestd = dist[base + v];
+            }}
+        }}
+        if (best < 0) {{
+            break;
+        }}
+        done[base + best] = 1;
+        for (int v = 0; v < {nodes}; v = v + 1) {{
+            int w = adj[best * {nodes} + v];
+            if (w != 0 && dist[base + best] + w < dist[base + v]) {{
+                dist[base + v] = dist[base + best] + w;
+            }}
+        }}
+    }}
+    amoadd(flag, t, 1);
+}}
+
+int main() {{
+    for (int t = 0; t < {tasks}; t = t + 1) {{
+        if (spawn(do_task, t) == -1) {{
+            do_task(t);
+        }}
+    }}
+    int t = 0;
+    while (t < {tasks}) {{
+        if (flag[t] != 0) {{
+            t = t + 1;
+        }}
+    }}
+    int checksum = 0;
+    for (int s = 0; s < {tasks}; s = s + 1) {{
+        for (int v = 0; v < {nodes}; v = v + 1) {{
+            putd(dist[s * {nodes} + v]);
+            checksum = checksum * 131 + dist[s * {nodes} + v];
+        }}
+    }}
+    putw(checksum);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> ParallelWorkload:
+    adj = _generate_graph()
+    out = Output()
+    checksum = 0
+    for source in range(_TASKS):
+        for value in _dijkstra_reference(adj, source):
+            out.putd(value)
+            checksum = (checksum * 131 + value) & 0xFFFFFFFF
+    out.putw(checksum)
+    flat = [w for row in adj for w in row]
+    source_text = _TEMPLATE.format(
+        cells=_NODES * _NODES, nodes=_NODES, slots=_TASKS * _NODES,
+        tasks=_TASKS, inf=_INF, matrix=fmt_ints(flat),
+    )
+    return ParallelWorkload(
+        name="dijkstra_p",
+        paper_name="dijkstra (parallel)",
+        paper_cycles=41_643_556,
+        description=f"{_TASKS}-source Dijkstra trees on a {_NODES}-node digraph",
+        source=source_text,
+        expected_output=out.bytes(),
+        tasks=_TASKS,
+    )

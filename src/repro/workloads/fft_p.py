@@ -1,0 +1,170 @@
+"""Parallel FFT workload: independent per-segment transforms.
+
+The input is split into four fixed 16-point segments; each task runs a
+complete radix-2 Q15 FFT (bit-reversal plus all stages) on its segment,
+sharing one quarter-size twiddle table, and the main thread folds every
+segment's spectrum into one checksum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import (
+    Output, ParallelWorkload, asr, fmt_ints, rng, s32,
+)
+
+_TASKS = 4
+_SEG = 16
+_N = _TASKS * _SEG
+_STRIDE = 4
+
+_TEMPLATE = """\
+int re[{n}] = {{{re}}};
+int im[{n}];
+int costab[{half}] = {{{cos}}};
+int sintab[{half}] = {{{sin}}};
+int flag[{tasks}];
+
+void do_task(int t) {{
+    int base = t * {seg};
+    int j = 0;
+    for (int i = 0; i < {seg} - 1; i = i + 1) {{
+        if (i < j) {{
+            int tmp = re[base + i];
+            re[base + i] = re[base + j];
+            re[base + j] = tmp;
+            tmp = im[base + i];
+            im[base + i] = im[base + j];
+            im[base + j] = tmp;
+        }}
+        int k = {seg} / 2;
+        while (k <= j) {{
+            j = j - k;
+            k = k / 2;
+        }}
+        j = j + k;
+    }}
+    int len = 2;
+    while (len <= {seg}) {{
+        int half = len / 2;
+        int step = {seg} / len;
+        for (int b = 0; b < {seg}; b = b + len) {{
+            for (int q = 0; q < half; q = q + 1) {{
+                int c = costab[q * step];
+                int s = sintab[q * step];
+                int u = base + b + q;
+                int idx = u + half;
+                int tr = (c * re[idx] + s * im[idx]) >> 15;
+                int ti = (c * im[idx] - s * re[idx]) >> 15;
+                int ur = re[u] >> 1;
+                int ui = im[u] >> 1;
+                tr = tr >> 1;
+                ti = ti >> 1;
+                re[u] = ur + tr;
+                im[u] = ui + ti;
+                re[idx] = ur - tr;
+                im[idx] = ui - ti;
+            }}
+        }}
+        len = len * 2;
+    }}
+    amoadd(flag, t, 1);
+}}
+
+int main() {{
+    for (int t = 0; t < {tasks}; t = t + 1) {{
+        if (spawn(do_task, t) == -1) {{
+            do_task(t);
+        }}
+    }}
+    int t = 0;
+    while (t < {tasks}) {{
+        if (flag[t] != 0) {{
+            t = t + 1;
+        }}
+    }}
+    int checksum = 0;
+    for (int i = 0; i < {n}; i = i + 1) {{
+        checksum = checksum * 17 + re[i] + im[i];
+    }}
+    putw(checksum);
+    for (int i = 0; i < {n}; i = i + {stride}) {{
+        putd(re[i]);
+        putd(im[i]);
+    }}
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _segment_fft(re: list[int], im: list[int],
+                 cos: list[int], sin: list[int], base: int) -> None:
+    seg = _SEG
+    j = 0
+    for i in range(seg - 1):
+        if i < j:
+            re[base + i], re[base + j] = re[base + j], re[base + i]
+            im[base + i], im[base + j] = im[base + j], im[base + i]
+        k = seg // 2
+        while k <= j:
+            j -= k
+            k //= 2
+        j += k
+    length = 2
+    while length <= seg:
+        half = length // 2
+        step = seg // length
+        for b in range(0, seg, length):
+            for q in range(half):
+                c = cos[q * step]
+                s = sin[q * step]
+                u = base + b + q
+                idx = u + half
+                tr = asr(c * re[idx] + s * im[idx], 15)
+                ti = asr(c * im[idx] - s * re[idx], 15)
+                ur = asr(re[u], 1)
+                ui = asr(im[u], 1)
+                tr = asr(tr, 1)
+                ti = asr(ti, 1)
+                re[u] = s32(ur + tr)
+                im[u] = s32(ui + ti)
+                re[idx] = s32(ur - tr)
+                im[idx] = s32(ui - ti)
+        length *= 2
+
+
+def build() -> ParallelWorkload:
+    rand = rng("fft_p")
+    re = [rand.randrange(-2048, 2048) for _ in range(_N)]
+    im = [0] * _N
+    half = _SEG // 2
+    cos = [round(32767 * math.cos(2 * math.pi * k / _SEG)) for k in range(half)]
+    sin = [round(32767 * math.sin(2 * math.pi * k / _SEG)) for k in range(half)]
+
+    ref_re, ref_im = list(re), list(im)
+    for t in range(_TASKS):
+        _segment_fft(ref_re, ref_im, cos, sin, t * _SEG)
+    out = Output()
+    checksum = 0
+    for i in range(_N):
+        checksum = (checksum * 17 + ref_re[i] + ref_im[i]) & 0xFFFFFFFF
+    out.putw(checksum)
+    for i in range(0, _N, _STRIDE):
+        out.putd(ref_re[i])
+        out.putd(ref_im[i])
+
+    source = _TEMPLATE.format(
+        n=_N, seg=_SEG, half=half, tasks=_TASKS, stride=_STRIDE,
+        re=fmt_ints(re), cos=fmt_ints(cos), sin=fmt_ints(sin),
+    )
+    return ParallelWorkload(
+        name="fft_p",
+        paper_name="FFT (parallel)",
+        paper_cycles=48_339_852,
+        description=f"{_TASKS} independent {_SEG}-point Q15 radix-2 FFTs",
+        source=source,
+        expected_output=out.bytes(),
+        tasks=_TASKS,
+    )

@@ -1,0 +1,118 @@
+"""Parallel qsort workload: slice-parallel quicksort.
+
+The array is split into four fixed slices; each task quicksorts its slice
+in place with an explicit work-list (no recursion, so a worker's carved
+stack slice is never at risk) and the main thread verifies and folds the
+slice-sorted array.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Output, ParallelWorkload, fmt_ints, rng
+
+_TASKS = 4
+_SLICE = 25
+_SIZE = _TASKS * _SLICE
+#: Per-task work-list capacity (index pairs); Lomuto pushes at most one
+#: pair per element of the slice, so 2 * _SLICE + 2 words is safe.
+_STK = 2 * _SLICE + 2
+_STRIDE = 5
+
+_TEMPLATE = """\
+int a[{size}] = {{{data}}};
+int stk[{stk_total}];
+int flag[{tasks}];
+
+void do_task(int t) {{
+    int base = t * {stk};
+    int sp = base;
+    stk[sp] = t * {slice};
+    stk[sp + 1] = t * {slice} + {slice} - 1;
+    sp = sp + 2;
+    while (sp > base) {{
+        sp = sp - 2;
+        int lo = stk[sp];
+        int hi = stk[sp + 1];
+        if (lo < hi) {{
+            int pivot = a[hi];
+            int i = lo - 1;
+            for (int j = lo; j < hi; j = j + 1) {{
+                if (a[j] <= pivot) {{
+                    i = i + 1;
+                    int tmp = a[i];
+                    a[i] = a[j];
+                    a[j] = tmp;
+                }}
+            }}
+            int tmp2 = a[i + 1];
+            a[i + 1] = a[hi];
+            a[hi] = tmp2;
+            stk[sp] = lo;
+            stk[sp + 1] = i;
+            sp = sp + 2;
+            stk[sp] = i + 2;
+            stk[sp + 1] = hi;
+            sp = sp + 2;
+        }}
+    }}
+    amoadd(flag, t, 1);
+}}
+
+int main() {{
+    for (int t = 0; t < {tasks}; t = t + 1) {{
+        if (spawn(do_task, t) == -1) {{
+            do_task(t);
+        }}
+    }}
+    int t = 0;
+    while (t < {tasks}) {{
+        if (flag[t] != 0) {{
+            t = t + 1;
+        }}
+    }}
+    int checksum = 0;
+    int sorted = 1;
+    for (int i = 0; i < {size}; i = i + 1) {{
+        checksum = checksum * 31 + a[i];
+        if (i % {slice} != 0 && a[i - 1] > a[i]) {{
+            sorted = 0;
+        }}
+    }}
+    putd(sorted);
+    putw(checksum);
+    for (int i = 0; i < {size}; i = i + {stride}) {{
+        putd(a[i]);
+    }}
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def build() -> ParallelWorkload:
+    rand = rng("qsort_p")
+    data = [rand.randrange(-5000, 5000) for _ in range(_SIZE)]
+    final = []
+    for t in range(_TASKS):
+        final.extend(sorted(data[t * _SLICE:(t + 1) * _SLICE]))
+    out = Output()
+    checksum = 0
+    for value in final:
+        checksum = (checksum * 31 + value) & 0xFFFFFFFF
+    out.putd(1)
+    out.putw(checksum)
+    for i in range(0, _SIZE, _STRIDE):
+        out.putd(final[i])
+    source = _TEMPLATE.format(
+        size=_SIZE, tasks=_TASKS, slice=_SLICE, stk=_STK,
+        stk_total=_TASKS * _STK, stride=_STRIDE, data=fmt_ints(data),
+    )
+    return ParallelWorkload(
+        name="qsort_p",
+        paper_name="qsort (parallel)",
+        paper_cycles=31_326_716,
+        description=f"work-list quicksort of {_TASKS} slices of {_SLICE}",
+        source=source,
+        expected_output=out.bytes(),
+        tasks=_TASKS,
+    )

@@ -1,0 +1,144 @@
+"""Parallel susan smoothing workload: row strips across cores.
+
+The interior rows of the image are split into four fixed two-row strips;
+each task smooths its strip (reading the shared input image, writing a
+disjoint region of the output image) and publishes a per-strip checksum.
+The main thread then re-reads every smoothed pixel the workers wrote —
+through the shared L2 — to form a global checksum, so a corrupted shared
+line between producer and consumer cores is architecturally visible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import (
+    Output, ParallelWorkload, fmt_ints, u32,
+)
+from repro.workloads._imagelib import make_image
+
+_TASKS = 4
+_ROWS_PER_TASK = 2
+_WIDTH = 8
+_HEIGHT = _TASKS * _ROWS_PER_TASK + 2   # interior rows only are smoothed
+_THRESHOLD = 27
+
+_TEMPLATE = """\
+byte img[{npix}] = {{{img}}};
+byte lut[256] = {{{lut}}};
+byte smoothed[{npix}];
+int strip_sum[{tasks}];
+int flag[{tasks}];
+
+void do_task(int t) {{
+    int checksum = 0;
+    int y0 = 1 + t * {rows};
+    for (int y = y0; y < y0 + {rows}; y = y + 1) {{
+        for (int x = 1; x < {width} - 1; x = x + 1) {{
+            int centre = img[y * {width} + x];
+            int total = 0;
+            int wsum = 0;
+            for (int dy = -1; dy <= 1; dy = dy + 1) {{
+                for (int dx = -1; dx <= 1; dx = dx + 1) {{
+                    int v = img[(y + dy) * {width} + x + dx];
+                    int d = v - centre;
+                    if (d < 0) {{
+                        d = -d;
+                    }}
+                    int w = lut[d];
+                    total = total + w * v;
+                    wsum = wsum + w;
+                }}
+            }}
+            int value = total / wsum;
+            smoothed[y * {width} + x] = value;
+            checksum = checksum * 31 + value;
+        }}
+    }}
+    strip_sum[t] = checksum;
+    amoadd(flag, t, 1);
+}}
+
+int main() {{
+    for (int t = 0; t < {tasks}; t = t + 1) {{
+        if (spawn(do_task, t) == -1) {{
+            do_task(t);
+        }}
+    }}
+    int t = 0;
+    while (t < {tasks}) {{
+        if (flag[t] != 0) {{
+            t = t + 1;
+        }}
+    }}
+    int global = 0;
+    for (int s = 0; s < {tasks}; s = s + 1) {{
+        putw(strip_sum[s]);
+        for (int y = 1 + s * {rows}; y < 1 + s * {rows} + {rows}; y = y + 1) {{
+            for (int x = 1; x < {width} - 1; x = x + 1) {{
+                global = global * 31 + smoothed[y * {width} + x];
+            }}
+        }}
+    }}
+    putw(global);
+    exit(0);
+    return 0;
+}}
+"""
+
+
+def _similarity_lut() -> list[int]:
+    return [
+        max(0, min(255, round(100 * math.exp(-((d / _THRESHOLD) ** 2)))))
+        for d in range(256)
+    ]
+
+
+def build() -> ParallelWorkload:
+    image = make_image("susan_s_p", _WIDTH, _HEIGHT)
+    lut = _similarity_lut()
+    out = Output()
+    smoothed = [0] * (_WIDTH * _HEIGHT)
+    strip_sums = []
+    for t in range(_TASKS):
+        checksum = 0
+        for y in range(1 + t * _ROWS_PER_TASK,
+                       1 + (t + 1) * _ROWS_PER_TASK):
+            for x in range(1, _WIDTH - 1):
+                centre = image[y * _WIDTH + x]
+                total = wsum = 0
+                for dy in (-1, 0, 1):
+                    for dx in (-1, 0, 1):
+                        v = image[(y + dy) * _WIDTH + x + dx]
+                        w = lut[abs(v - centre)]
+                        total += w * v
+                        wsum += w
+                value = total // wsum
+                smoothed[y * _WIDTH + x] = value
+                checksum = u32(checksum * 31 + value)
+        strip_sums.append(checksum)
+    glob = 0
+    for t in range(_TASKS):
+        out.putw(strip_sums[t])
+        for y in range(1 + t * _ROWS_PER_TASK,
+                       1 + (t + 1) * _ROWS_PER_TASK):
+            for x in range(1, _WIDTH - 1):
+                glob = u32(glob * 31 + smoothed[y * _WIDTH + x])
+    out.putw(glob)
+
+    source = _TEMPLATE.format(
+        npix=_WIDTH * _HEIGHT, width=_WIDTH, rows=_ROWS_PER_TASK,
+        tasks=_TASKS, img=fmt_ints(image), lut=fmt_ints(lut),
+    )
+    return ParallelWorkload(
+        name="susan_s_p",
+        paper_name="susan s (parallel)",
+        paper_cycles=13_750_557,
+        description=(
+            f"strip-parallel SUSAN smoothing, {_TASKS} strips of "
+            f"{_ROWS_PER_TASK} rows"
+        ),
+        source=source,
+        expected_output=out.bytes(),
+        tasks=_TASKS,
+    )

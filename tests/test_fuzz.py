@@ -8,7 +8,12 @@ marked ``fuzz`` and runs in the CI ``verify`` job (``pytest -m fuzz`` /
 import pytest
 
 from repro.core.cli import main
-from repro.verify.fuzz import ProgramFuzzer, run_fuzz
+from repro.verify.fuzz import (
+    ProgramFuzzer,
+    SMPProgramFuzzer,
+    run_fuzz,
+    run_smp_fuzz,
+)
 
 
 def test_fuzzer_is_deterministic():
@@ -59,3 +64,49 @@ def test_fuzz_acceptance_loop():
     report = run_fuzz(programs=25, seed=0)
     assert report.ok, report.divergences
     assert report.programs == 25
+
+
+# -- multithreaded fuzzing ----------------------------------------------------
+
+
+def test_smp_fuzzer_is_deterministic():
+    assert SMPProgramFuzzer(seed=5).source() == SMPProgramFuzzer(seed=5).source()
+    assert SMPProgramFuzzer(seed=5).source() != SMPProgramFuzzer(seed=6).source()
+
+
+def test_smp_fuzzer_emits_spawning_programs():
+    for seed in range(3):
+        fuzzer = SMPProgramFuzzer(seed=seed, length=30, cores=4)
+        source = fuzzer.source()
+        assert "sys #4" in source      # spawn phase
+        assert "amoadd" in source      # release via atomics
+        assert fuzzer.program().num_instructions > 20
+
+
+def test_smp_fuzzer_rejects_single_core():
+    with pytest.raises(ValueError, match="cores"):
+        SMPProgramFuzzer(seed=0, cores=1)
+
+
+def test_smp_fuzz_smoke_loop():
+    """Random spawn/amo programs retire identically under the SMP oracle."""
+    report = run_smp_fuzz(programs=2, seed=1, cores=2)
+    assert report.ok, report.divergences
+    assert report.programs == 2
+    assert report.instructions > 0
+
+
+def test_smp_fuzz_cli_smoke(capsys):
+    assert main([
+        "fuzz", "--programs", "2", "--seed", "3", "--cores", "2", "--quiet",
+    ]) == 0
+    assert "0 divergences" in capsys.readouterr().out
+
+
+@pytest.mark.fuzz
+def test_smp_fuzz_acceptance_loop():
+    """Multithreaded acceptance: 10 programs at 2 and 4 cores, no drift."""
+    for cores in (2, 4):
+        report = run_smp_fuzz(programs=10, seed=0, cores=cores)
+        assert report.ok, report.divergences
+        assert report.programs == 10

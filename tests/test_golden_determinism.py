@@ -75,3 +75,58 @@ def test_in_process_golden_matches_subprocess():
     assert warm.instructions == cold["instructions"]
     assert warm.output.hex() == cold["output"]
     assert warm.stats == cold["stats"]
+
+
+SMP_SCRIPT = """
+import json
+from repro.core.campaign import golden_run
+from repro.cpu.smp import SMPSystem
+from repro.verify.invariants import smp_state_fingerprint
+from repro.workloads import get_workload
+
+workload = get_workload("crc32_p")
+golden = golden_run(workload, cores=2)
+smp = SMPSystem(ncores=2)
+smp.load(workload.program_for(2))
+smp.run(4 * golden.cycles)
+print(json.dumps({
+    "cycles": golden.cycles,
+    "instructions": golden.instructions,
+    "output": golden.output.hex(),
+    "exit_code": golden.exit_code,
+    "fingerprint": smp_state_fingerprint(smp),
+}, sort_keys=True))
+"""
+
+
+def _cold_smp_run(hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", SMP_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_multi_core_golden_run_is_bit_identical_across_cold_processes():
+    """The deterministic interleaver holds across process boundaries too:
+    two cold 2-core golden runs agree on the complete final machine state,
+    not just the architectural output."""
+    first = _cold_smp_run("0")
+    second = _cold_smp_run("1")
+    assert first == second
+    assert first["cycles"] > 0
+    assert len(first["fingerprint"]) == 64
+
+    from repro.core.campaign import golden_run
+    from repro.workloads import get_workload
+
+    warm = golden_run(get_workload("crc32_p"), cores=2)
+    assert warm.cycles == first["cycles"]
+    assert warm.output.hex() == first["output"]

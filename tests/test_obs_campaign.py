@@ -168,6 +168,45 @@ def test_cli_incidents_json(tmp_path, capsys):
     assert loaded[0]["cell_seed"] == "0:crc32:regfile:1"
 
 
+def test_smp_campaign_metrics_are_keyed_by_core_id():
+    """A --cores campaign publishes per-core cache/TLB counters (``c{k}.``
+    prefixes) plus shared-L2 and coherence-bus counters, all in the
+    deterministic ``sim.*`` namespace."""
+    config = CampaignConfig(
+        workloads=("crc32_p",), components=("l2",), cardinalities=(1,),
+        samples=1, seed=0, cores=2,
+    )
+    telemetry = obs.enable()
+    run_campaign(config)
+    summary = telemetry.summary()
+    obs.disable()
+
+    counters = summary["counters"]
+    assert counters["sim.mem.c0.l1d.hits"] > 0
+    assert counters["sim.mem.c1.l1d.hits"] > 0
+    assert counters["sim.mem.c0.itlb.hits"] > 0
+    assert counters["sim.mem.l2.hits"] > 0
+    # The workload's producer/consumer traffic exercises the bus.
+    assert any(key.startswith("sim.mem.bus.") for key in counters)
+    # Per-core keys are deterministic like every other sim.* counter.
+    assert all(
+        key in deterministic_counters(summary)
+        for key in counters if key.startswith("sim.mem.c")
+    )
+
+
+def test_smp_metrics_do_not_perturb_results():
+    config = CampaignConfig(
+        workloads=("crc32_p",), components=("l2",), cardinalities=(1,),
+        samples=1, seed=0, cores=2,
+    )
+    obs.enable()
+    observed = run_campaign(config)
+    obs.disable()
+    plain = run_campaign(config)
+    assert observed.to_json() == plain.to_json()
+
+
 def test_disabled_guard_overhead_is_negligible():
     """The disabled subsystem must cost ~one attribute check per event.
 
